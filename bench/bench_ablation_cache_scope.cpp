@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: shared-class-cache deployment choices (paper §IV.B-C).
+ *
+ *  - copied, middleware-only: the paper's base-image deployment — one
+ *    population copied to every VM; application classes stay private.
+ *  - copied, all-cacheable: also caches the app's cacheable classes.
+ *  - per-VM population: `-Xshareclasses` enabled everywhere but each
+ *    VM populates its *own* cache file. Same classes, same sizes —
+ *    but the layouts differ, so TPS finds (almost) nothing. This is
+ *    the configuration the paper's insight warns about: class sharing
+ *    alone is not enough, the *file copy* is what aligns the layouts.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace jtps;
+
+namespace
+{
+
+Bytes
+nonPrimaryJavaSaving(core::Scenario &scenario)
+{
+    auto acct = scenario.account();
+    Bytes saving = 0;
+    for (VmId v = 1; v < scenario.vmCount(); ++v)
+        saving += acct.vmBreakdown(v).savingJava;
+    return saving / (scenario.vmCount() - 1);
+}
+
+void
+runCase(const char *label, bool enable, jvm::CacheScope scope, bool copy)
+{
+    core::ScenarioConfig cfg = bench::paperConfig(enable);
+    cfg.cacheScope = scope;
+    cfg.copyCacheToAllVms = copy;
+    cfg.warmupMs = 30'000;
+    cfg.steadyMs = 45'000;
+    std::vector<workload::WorkloadSpec> vms(4, workload::dayTraderIntel());
+    core::Scenario scenario(cfg, vms);
+    scenario.build();
+    scenario.run();
+    std::printf("%-34s %14s MiB\n", label,
+                formatMiB(nonPrimaryJavaSaving(scenario)).c_str());
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Ablation — cache deployment vs TPS savings in each "
+                "non-primary Java process (DayTrader x 4)\n\n");
+    std::printf("%-34s %18s\n", "configuration", "Java saving/VM");
+    std::printf("%s\n", std::string(54, '-').c_str());
+    runCase("no class sharing", false, jvm::CacheScope::MiddlewareOnly,
+            true);
+    runCase("per-VM cache population", true,
+            jvm::CacheScope::MiddlewareOnly, false);
+    runCase("copied cache, middleware-only", true,
+            jvm::CacheScope::MiddlewareOnly, true);
+    runCase("copied cache, all cacheable", true,
+            jvm::CacheScope::AllCacheable, true);
+    std::printf("\nthe copy is what creates cross-VM page equality; "
+                "locally-populated caches share almost nothing extra\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper. The
+ * simulated phase lengths are shorter than the paper's 3 min + 90 min
+ * (KSM convergence in the model needs a few full scan passes, not wall
+ * hours), but the protocol — aggressive scan during warm-up, throttled
+ * scan during measurement, snapshot at the end — is the same.
+ */
+
+#ifndef JTPS_BENCH_BENCH_COMMON_HH
+#define JTPS_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hh"
+
+namespace jtps::bench
+{
+
+/** Standard Intel/KVM scenario configuration (Tables I-II). */
+inline core::ScenarioConfig
+paperConfig(bool class_sharing)
+{
+    core::ScenarioConfig cfg;
+    cfg.enableClassSharing = class_sharing;
+    cfg.warmupMs = 45'000;  // paper: 3 min at pages_to_scan=10,000
+    cfg.steadyMs = 90'000;  // paper: 90 min at pages_to_scan=1,000
+    return cfg;
+}
+
+/** Print the Fig. 2 / Fig. 4 style per-VM breakdown. */
+inline void
+printVmBreakdown(core::Scenario &scenario, const std::string &title)
+{
+    auto acct = scenario.account();
+    std::printf("%s\n\n%s\n", title.c_str(),
+                analysis::renderVmBreakdownReport(acct,
+                                                  scenario.vmNames())
+                    .c_str());
+}
+
+/** Print the Fig. 3 / Fig. 5 style per-JVM category breakdown. */
+inline void
+printJavaBreakdown(core::Scenario &scenario, const std::string &title)
+{
+    auto acct = scenario.account();
+    std::printf("%s\n\n%s\n", title.c_str(),
+                analysis::renderJavaBreakdownReport(acct,
+                                                    scenario.javaRows())
+                    .c_str());
+}
+
+/** Class-metadata sharing fraction of one JVM (paper's 89.6% metric). */
+inline double
+classMetadataSharedFraction(const analysis::OwnerAccounting &acct,
+                            const analysis::JavaProcRow &row)
+{
+    const auto &pu = acct.usage(row.vm, row.pid);
+    const auto idx =
+        static_cast<std::size_t>(guest::MemCategory::ClassMetadata);
+    const Bytes total = pu.owned[idx] + pu.shared[idx];
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(pu.shared[idx]) /
+           static_cast<double>(total);
+}
+
+} // namespace jtps::bench
+
+#endif // JTPS_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Extension: KSM convergence under the paper's manual scan schedule
+ * vs. the ksmtuned governor.
+ *
+ * The paper hand-tunes ksmd (10,000 pages/100 ms for the first three
+ * minutes, then 1,000). Production RHEL hosts ran `ksmtuned`, which
+ * adapts the rate to memory pressure. This bench records the savings
+ * timeline under both policies for the 4-VM DayTrader setup with the
+ * copied class cache, using the time-series sharing monitor.
+ */
+
+#include <cstdio>
+
+#include "analysis/sharing_monitor.hh"
+#include "bench/bench_common.hh"
+#include "ksm/ksm_tuned.hh"
+
+using namespace jtps;
+
+namespace
+{
+
+void
+run(const char *label, bool governed)
+{
+    core::ScenarioConfig cfg = bench::paperConfig(true);
+    cfg.warmupMs = 40'000;
+    cfg.steadyMs = 40'000;
+    std::vector<workload::WorkloadSpec> vms(6, workload::dayTraderIntel());
+    core::Scenario scenario(cfg, vms);
+    scenario.build();
+
+    analysis::SharingMonitor monitor(scenario.hv(), scenario.ksm());
+    monitor.attach(scenario.queue(), 10'000);
+
+    std::unique_ptr<ksm::KsmTuned> tuned;
+    if (governed) {
+        // Let the governor own pages_to_scan: neutralize the paper's
+        // manual schedule by starting both phases at the same rate.
+        cfg.ksmWarmupPagesToScan = 640;
+        ksm::KsmTunedConfig tcfg;
+        tuned = std::make_unique<ksm::KsmTuned>(
+            scenario.hv(), scenario.ksm(), tcfg, scenario.stats());
+        tuned->attach(scenario.queue());
+        scenario.ksm().setPagesToScan(640);
+        scenario.ksm().attach(scenario.queue());
+        scenario.runFor(80'000);
+    } else {
+        scenario.run(); // the paper's two-phase schedule
+    }
+
+    std::printf("%s\n", label);
+    std::printf("%s\n", monitor.renderTable().c_str());
+    if (tuned) {
+        std::printf("ksmtuned: %llu boosts, %llu decays, final "
+                    "pages_to_scan=%u\n\n",
+                    (unsigned long long)tuned->boosts(),
+                    (unsigned long long)tuned->decays(),
+                    scenario.ksm().config().pagesToScan);
+    } else {
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Extension — KSM convergence timeline: manual schedule "
+                "vs ksmtuned governor (DayTrader x 6, copied cache)\n\n");
+    run("paper's manual schedule (10000 warm-up, 1000 steady):", false);
+    run("ksmtuned governor (min 640, max 12500, boost on pressure):",
+        true);
+    std::printf("note: ksmtuned only boosts once committed memory "
+                "crosses its free threshold — on an under-committed "
+                "host it idles at the floor and shares almost nothing, "
+                "which is why the paper pins the scan rate by hand.\n");
+    return 0;
+}

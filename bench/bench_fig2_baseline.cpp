@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 2: breakdown of physical memory usage and savings with TPS, for
+ * four 1 GiB KVM guests each running WAS + DayTrader, default
+ * configuration (no cross-VM class sharing).
+ *
+ * Paper's shape: Java processes dominate (~750 MB each); the guest
+ * kernel is ~219 MB in the owner VM and ~106 MB elsewhere (about half
+ * of the kernel area TPS-shared); TPS savings inside the Java
+ * processes are small (~20 MB per non-primary process).
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace jtps;
+
+int
+main()
+{
+    setVerbose(false);
+    std::vector<workload::WorkloadSpec> vms(4, workload::dayTraderIntel());
+    core::Scenario scenario(bench::paperConfig(false), vms);
+    scenario.build();
+    scenario.run();
+
+    bench::printVmBreakdown(
+        scenario,
+        "Fig. 2 — physical memory usage + TPS savings, DayTrader x 4, "
+        "default configuration");
+
+    auto &ksm = scenario.ksm();
+    std::printf("ksm: full_scans=%llu pages_shared=%llu "
+                "pages_sharing=%llu saved=%s MiB cpu(steady)=%.1f%%\n",
+                (unsigned long long)ksm.fullScans(),
+                (unsigned long long)ksm.pagesShared(),
+                (unsigned long long)ksm.pagesSharing(),
+                formatMiB(ksm.savedBytes()).c_str(),
+                ksm.cpuUsage() * 100.0);
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Fig. 3(b): per-JVM breakdown when DayTrader, SPECjEnterprise 2010
+ * and TPC-W run in the same WAS version, one per guest VM, baseline.
+ *
+ * Paper's point: the limited effectiveness of TPS is not specific to a
+ * particular Java workload.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace jtps;
+
+int
+main()
+{
+    setVerbose(false);
+    std::vector<workload::WorkloadSpec> vms = {
+        workload::dayTraderIntel(),
+        workload::specjEnterprise2010(),
+        workload::tpcwJava(),
+    };
+    core::Scenario scenario(bench::paperConfig(false), vms);
+    scenario.build();
+    scenario.run();
+
+    bench::printJavaBreakdown(
+        scenario,
+        "Fig. 3(b) — DayTrader / SPECjEnterprise / TPC-W in the same "
+        "WAS, default configuration (JVM1=DayTrader, "
+        "JVM2=SPECjEnterprise, JVM3=TPC-W)");
+    return 0;
+}

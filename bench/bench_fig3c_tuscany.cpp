@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Fig. 3(c): per-JVM breakdown for three Tuscany bigbank servers
+ * (no WAS), baseline. Shows the pattern holds for small non-WAS
+ * middleware too.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace jtps;
+
+int
+main()
+{
+    setVerbose(false);
+    std::vector<workload::WorkloadSpec> vms(
+        3, workload::tuscanyBigbank());
+    core::Scenario scenario(bench::paperConfig(false), vms);
+    scenario.build();
+    scenario.run();
+
+    bench::printJavaBreakdown(
+        scenario,
+        "Fig. 3(c) — three Tuscany bigbank processes, default "
+        "configuration");
+    return 0;
+}

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Fig. 5(b): per-JVM breakdown with class sharing for DayTrader,
+ * SPECjEnterprise and TPC-W in the same WAS version, one per VM.
+ *
+ * Paper's point: the class area shares about as much as in Fig. 5(a)
+ * even though every VM runs a *different* application, because the
+ * base-image cache holds the (identical) WAS middleware classes and
+ * application classes are a small fraction.
+ */
+
+#include "bench/bench_common.hh"
+
+using namespace jtps;
+
+int
+main()
+{
+    setVerbose(false);
+    std::vector<workload::WorkloadSpec> vms = {
+        workload::dayTraderIntel(),
+        workload::specjEnterprise2010(),
+        workload::tpcwJava(),
+    };
+    core::Scenario scenario(bench::paperConfig(true), vms);
+    scenario.build();
+    scenario.run();
+
+    bench::printJavaBreakdown(
+        scenario,
+        "Fig. 5(b) — DayTrader / SPECjEnterprise / TPC-W in the same "
+        "WAS, shared class cache from the base image copied to all VMs");
+
+    auto acct = scenario.account();
+    for (const auto &row : scenario.javaRows()) {
+        std::printf("%s class-metadata TPS-shared: %.1f%%\n",
+                    row.label.c_str(),
+                    100.0 *
+                        bench::classMetadataSharedFraction(acct, row));
+    }
+    return 0;
+}

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Fig. 5(c): per-JVM breakdown for three Tuscany bigbank servers with
+ * a copied 25 MB shared class cache.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace jtps;
+
+int
+main()
+{
+    setVerbose(false);
+    std::vector<workload::WorkloadSpec> vms(
+        3, workload::tuscanyBigbank());
+    core::Scenario scenario(bench::paperConfig(true), vms);
+    scenario.build();
+    scenario.run();
+
+    bench::printJavaBreakdown(
+        scenario,
+        "Fig. 5(c) — three Tuscany bigbank processes, shared class "
+        "cache copied to all VMs");
+
+    auto acct = scenario.account();
+    for (const auto &row : scenario.javaRows()) {
+        std::printf("%s class-metadata TPS-shared: %.1f%%\n",
+                    row.label.c_str(),
+                    100.0 *
+                        bench::classMetadataSharedFraction(acct, row));
+    }
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 6: physical memory usage of three 3.5 GB AIX guests on PowerVM
+ * running WAS + DayTrader, before and after the platform TPS finishes,
+ * with and without preloaded classes.
+ *
+ * Paper's shape: saving grows from 243.4 MB (no preload) to 424.4 MB
+ * (preload) — +181 MB, i.e. ~90.5 MB per non-primary VM out of the
+ * 100 MB cache (>90% of the shared class area becomes shareable).
+ */
+
+#include <cstdio>
+
+#include "base/units.hh"
+#include "core/power_scenario.hh"
+
+using namespace jtps;
+
+namespace
+{
+
+core::PowerResult
+runOnce(bool preload)
+{
+    core::PowerScenarioConfig cfg;
+    cfg.preloadClasses = preload;
+    core::PowerScenario scenario(cfg);
+    scenario.build();
+    return scenario.measure();
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Fig. 6 — PowerVM/AIX: total physical memory of three "
+                "guests, before/after TPS\n\n");
+    std::printf("%-28s %16s %16s %12s\n", "configuration",
+                "before sharing", "after sharing", "saving");
+    std::printf("%s\n", std::string(76, '-').c_str());
+
+    core::PowerResult no_preload = runOnce(false);
+    core::PowerResult preload = runOnce(true);
+
+    auto print_row = [](const char *label, const core::PowerResult &r) {
+        std::printf("%-28s %12s MiB %12s MiB %8s MiB\n", label,
+                    formatMiB(r.usageBeforeSharing).c_str(),
+                    formatMiB(r.usageAfterSharing).c_str(),
+                    formatMiB(r.saving()).c_str());
+    };
+    print_row("classes not preloaded", no_preload);
+    print_row("classes preloaded", preload);
+
+    const double delta = static_cast<double>(preload.saving()) -
+                         static_cast<double>(no_preload.saving());
+    std::printf("\nincreased sharing by preloading: %.1f MiB "
+                "(paper: 181.0 MiB; per non-primary VM: %.1f MiB of the "
+                "100 MiB cache)\n",
+                delta / MiB, delta / MiB / 2.0);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 8: SPECjEnterprise 2010 score (EjOPS) at a fixed injection rate
+ * of 15, as the number of 1.25 GiB guest VMs grows from 5 to 8, with
+ * the gencon GC policy (200 MB tenured + 530 MB nursery).
+ *
+ * Paper's shape: scores stay ~24 at 5-6 VMs; at 7 the default
+ * configuration drops to ~15 and misses the response-time SLA while
+ * the preloaded one holds ~24; at 8 both degrade.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_common.hh"
+
+using namespace jtps;
+
+namespace
+{
+
+struct Point
+{
+    double score;
+    bool slaMet;
+};
+
+Point
+measure(int num_vms, bool class_sharing)
+{
+    core::ScenarioConfig cfg = bench::paperConfig(class_sharing);
+    cfg.warmupMs = 70'000;
+    cfg.steadyMs = 60'000;
+    std::vector<workload::WorkloadSpec> vms(
+        num_vms, workload::specjEnterprise2010());
+    core::Scenario scenario(cfg, vms);
+    scenario.build();
+    scenario.run();
+
+    // EjOPS per VM: throughput of the closed loop at injection rate 15;
+    // the paper reports the per-VM score (~24 when responsive).
+    auto per_vm = scenario.perVmThroughput(8);
+    auto resp = scenario.perVmResponseMs(8);
+    double score = 0;
+    bool sla = true;
+    for (std::size_t v = 0; v < per_vm.size(); ++v) {
+        score += per_vm[v];
+        sla = sla && resp[v] <= workload::specjEnterprise2010().slaMs;
+    }
+    return {score / per_vm.size(), sla};
+}
+
+} // namespace
+
+int
+main()
+{
+    setVerbose(false);
+    std::printf("Fig. 8 — SPECjEnterprise 2010 score vs number of guest "
+                "VMs (injection rate 15, gencon GC)\n\n");
+    std::printf("%-6s %16s %6s %18s %6s\n", "VMs", "default EjOPS",
+                "SLA", "preloaded EjOPS", "SLA");
+    std::printf("%s\n", std::string(58, '-').c_str());
+
+    for (int n = 5; n <= 8; ++n) {
+        const Point def = measure(n, false);
+        const Point ours = measure(n, true);
+        std::printf("%-6d %16.1f %6s %18.1f %6s\n", n, def.score,
+                    def.slaMet ? "ok" : "FAIL", ours.score,
+                    ours.slaMet ? "ok" : "FAIL");
+        std::fflush(stdout);
+    }
+    std::printf("\npaper: ~24 at 5-6 VMs; at 7: default ~15 (SLA fail) "
+                "vs ours ~24; at 8 both degrade\n");
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): the hot paths of the
+ * simulator itself — EPT-translated writes, COW breaks, KSM scanning,
+ * whole-memory collapse, GC cycles, and the forensics walk. These
+ * bound how large a scenario the harness can run per wall-second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/accounting.hh"
+#include "analysis/forensics.hh"
+#include "base/stats.hh"
+#include "guest/guest_os.hh"
+#include "hv/hypervisor.hh"
+#include "jvm/java_heap.hh"
+#include "ksm/ksm_scanner.hh"
+
+using namespace jtps;
+
+namespace
+{
+
+hv::HostConfig
+host(Bytes ram = 2ULL * GiB)
+{
+    hv::HostConfig cfg;
+    cfg.ramBytes = ram;
+    cfg.reserveBytes = 0;
+    return cfg;
+}
+
+void
+BM_WriteWordResident(benchmark::State &state)
+{
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId vm = hv.createVm("vm", 64 * MiB, 0);
+    for (Gfn g = 0; g < 1024; ++g)
+        hv.writePage(vm, g, mem::PageData::filled(1, g));
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        hv.writeWord(vm, i % 1024, i % 8, i);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WriteWordResident);
+
+void
+BM_DemandAllocWrite(benchmark::State &state)
+{
+    StatSet stats;
+    hv::KvmHypervisor hv(host(8ULL * GiB), stats);
+    VmId vm = hv.createVm("vm", 7ULL * GiB, 0);
+    Gfn g = 0;
+    for (auto _ : state) {
+        hv.writePage(vm, g, mem::PageData::filled(2, g));
+        ++g;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DemandAllocWrite);
+
+void
+BM_CowBreak(benchmark::State &state)
+{
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId a = hv.createVm("a", 256 * MiB, 0);
+    VmId b = hv.createVm("b", 256 * MiB, 0);
+    constexpr Gfn n = 16384;
+    for (Gfn g = 0; g < n; ++g) {
+        hv.writePage(a, g, mem::PageData::filled(3, g));
+        hv.writePage(b, g, mem::PageData::filled(3, g));
+    }
+    hv.collapseIdenticalPages();
+    Gfn g = 0;
+    for (auto _ : state) {
+        if (g >= n) {
+            // Re-establish sharing once the pool is exhausted (not
+            // timed precisely, but amortized over many iterations).
+            state.PauseTiming();
+            hv.collapseIdenticalPages();
+            g = 0;
+            state.ResumeTiming();
+        }
+        hv.writeWord(b, g++, 0, 42);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CowBreak);
+
+void
+BM_KsmScanPass(benchmark::State &state)
+{
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId a = hv.createVm("a", 256 * MiB, 0);
+    VmId b = hv.createVm("b", 256 * MiB, 0);
+    const Gfn n = state.range(0);
+    for (Gfn g = 0; g < n; ++g) {
+        hv.writePage(a, g, mem::PageData::filled(4, g));
+        hv.writePage(b, g, mem::PageData::filled(4, g));
+    }
+    ksm::KsmConfig cfg;
+    cfg.pagesToScan = 1u << 30; // one batch = one pass
+    ksm::KsmScanner scanner(hv, cfg, stats);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scanner.scanBatch());
+    state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_KsmScanPass)->Arg(4096)->Arg(32768);
+
+void
+BM_CollapseIdenticalPages(benchmark::State &state)
+{
+    StatSet stats;
+    for (auto _ : state) {
+        state.PauseTiming();
+        StatSet s2;
+        hv::PowerVmHypervisor hv(host(), s2);
+        VmId a = hv.createVm("a", 128 * MiB);
+        VmId b = hv.createVm("b", 128 * MiB);
+        for (Gfn g = 0; g < 16384; ++g) {
+            hv.writePage(a, g, mem::PageData::filled(5, g));
+            hv.writePage(b, g, mem::PageData::filled(5, g));
+        }
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(hv.runTps());
+    }
+    state.SetItemsProcessed(state.iterations() * 32768);
+}
+BENCHMARK(BM_CollapseIdenticalPages);
+
+void
+BM_GcCycle(benchmark::State &state)
+{
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId vm = hv.createVm("vm", 256 * MiB, 0);
+    guest::GuestOs os(hv, vm, "vm", 1);
+    jvm::GcConfig gc;
+    gc.heapBytes = 64 * MiB;
+    jvm::JavaHeap heap(os, os.spawn("j", true), gc, 1);
+    heap.init();
+    for (auto _ : state)
+        heap.allocate(64 * MiB); // roughly one full GC cycle's worth
+    state.SetBytesProcessed(state.iterations() * 64 * MiB);
+}
+BENCHMARK(BM_GcCycle);
+
+void
+BM_ForensicsWalkAndAccount(benchmark::State &state)
+{
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId vm = hv.createVm("vm", 256 * MiB, 0);
+    guest::GuestOs os(hv, vm, "vm", 1);
+    guest::KernelConfig k;
+    k.textBytes = 8 * MiB;
+    k.dataBytes = 4 * MiB;
+    k.slabBytes = 4 * MiB;
+    k.sharedBootCacheBytes = 16 * MiB;
+    k.privateBootCacheBytes = 8 * MiB;
+    os.bootKernel(k);
+    std::vector<const guest::GuestOs *> guests = {&os};
+    for (auto _ : state) {
+        analysis::Snapshot snap = analysis::captureSnapshot(hv, guests);
+        analysis::OwnerAccounting acct(snap);
+        benchmark::DoNotOptimize(acct.attributedBytes());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            hv.residentFrames());
+}
+BENCHMARK(BM_ForensicsWalkAndAccount);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Tables I-III: environment and configuration of the modelled machines,
+ * guests, and Java applications — printed from the structs the
+ * simulator actually runs with.
+ */
+
+#include <cstdio>
+
+#include "core/paper_tables.hh"
+
+int
+main()
+{
+    std::printf("TABLE I. Environment and configuration of the physical "
+                "machines.\n\n%s\n",
+                jtps::core::renderTable1().c_str());
+    std::printf("TABLE II. Configuration of a guest virtual machine.\n\n"
+                "%s\n",
+                jtps::core::renderTable2().c_str());
+    std::printf("TABLE III. Configuration parameters of the Java "
+                "applications and Java VMs.\n\n%s\n",
+                jtps::core::renderTable3().c_str());
+    return 0;
+}

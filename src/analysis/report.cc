@@ -1,0 +1,205 @@
+#include "analysis/report.hh"
+
+#include <sstream>
+
+#include "base/table.hh"
+#include "base/units.hh"
+
+namespace jtps::analysis
+{
+
+namespace
+{
+
+Bytes
+catUse(const ProcessUsage &pu, guest::MemCategory cat)
+{
+    return pu.owned[static_cast<std::size_t>(cat)];
+}
+
+Bytes
+catShared(const ProcessUsage &pu, guest::MemCategory cat)
+{
+    return pu.shared[static_cast<std::size_t>(cat)];
+}
+
+} // namespace
+
+std::vector<JavaCategoryRow>
+javaCategoryRows(const ProcessUsage &pu)
+{
+    using guest::MemCategory;
+    std::vector<JavaCategoryRow> rows;
+    rows.push_back({"Code", catUse(pu, MemCategory::Code),
+                    catShared(pu, MemCategory::Code)});
+    rows.push_back({"Class metadata",
+                    catUse(pu, MemCategory::ClassMetadata),
+                    catShared(pu, MemCategory::ClassMetadata)});
+    rows.push_back({"JIT-compiled code", catUse(pu, MemCategory::JitCode),
+                    catShared(pu, MemCategory::JitCode)});
+    rows.push_back({"JVM and JIT work",
+                    catUse(pu, MemCategory::JvmWork) +
+                        catUse(pu, MemCategory::JitWork),
+                    catShared(pu, MemCategory::JvmWork) +
+                        catShared(pu, MemCategory::JitWork)});
+    rows.push_back({"Java heap", catUse(pu, MemCategory::JavaHeap),
+                    catShared(pu, MemCategory::JavaHeap)});
+    rows.push_back({"Stack", catUse(pu, MemCategory::Stack),
+                    catShared(pu, MemCategory::Stack)});
+    return rows;
+}
+
+std::string
+renderVmBreakdownReport(const OwnerAccounting &acct,
+                        const std::vector<std::string> &vm_names)
+{
+    TextTable table;
+    table.addRow({"VM", "Java (MiB)", "OtherUser", "GuestKernel",
+                  "VM itself", "UsageTotal", "SavingJava", "SavingOther",
+                  "SavingKernel", "SavingTotal"});
+
+    Bytes grand_usage = 0, grand_saving = 0;
+    for (VmId v = 0; v < vm_names.size(); ++v) {
+        const VmBreakdown bd = acct.vmBreakdown(v);
+        grand_usage += bd.usageTotal();
+        grand_saving += bd.savingTotal();
+        table.addRow({vm_names[v], formatMiB(bd.java),
+                      formatMiB(bd.otherUser), formatMiB(bd.kernel),
+                      formatMiB(bd.vmSelf), formatMiB(bd.usageTotal()),
+                      formatMiB(bd.savingJava), formatMiB(bd.savingOther),
+                      formatMiB(bd.savingKernel),
+                      formatMiB(bd.savingTotal())});
+    }
+
+    std::ostringstream out;
+    out << table.render();
+    out << "total physical memory used by guests: "
+        << formatMiB(grand_usage) << " MiB"
+        << "  (TPS savings realized: " << formatMiB(grand_saving)
+        << " MiB)\n\n";
+
+    // Stacked bars, one per VM: usage composition, then savings.
+    double full_scale = 0;
+    for (VmId v = 0; v < vm_names.size(); ++v) {
+        full_scale = std::max(
+            full_scale,
+            static_cast<double>(acct.vmBreakdown(v).usageTotal()));
+    }
+    std::vector<BarSegment> legend = {{"Java web application server", 0, 'J'},
+                                      {"Other user processes", 0, 'o'},
+                                      {"Guest kernel", 0, 'k'},
+                                      {"Guest VM", 0, 'v'}};
+    for (VmId v = 0; v < vm_names.size(); ++v) {
+        const VmBreakdown bd = acct.vmBreakdown(v);
+        std::vector<BarSegment> segs = {
+            {"Java", static_cast<double>(bd.java), 'J'},
+            {"Other", static_cast<double>(bd.otherUser), 'o'},
+            {"Kernel", static_cast<double>(bd.kernel), 'k'},
+            {"VM", static_cast<double>(bd.vmSelf), 'v'},
+        };
+        out << renderStackedBar("usage  " + vm_names[v], segs, full_scale,
+                                60)
+            << "\n";
+        std::vector<BarSegment> save_segs = {
+            {"Java", static_cast<double>(bd.savingJava), 'J'},
+            {"Other", static_cast<double>(bd.savingOther), 'o'},
+            {"Kernel", static_cast<double>(bd.savingKernel), 'k'},
+        };
+        out << renderStackedBar("saving " + vm_names[v], save_segs,
+                                full_scale, 60)
+            << "\n";
+    }
+    out << renderBarLegend(legend) << "\n";
+    return out.str();
+}
+
+std::string
+renderJavaBreakdownReport(const OwnerAccounting &acct,
+                          const std::vector<JavaProcRow> &procs)
+{
+    TextTable table;
+    table.addRow({"Process", "Category", "Use (MiB)", "Shared (MiB)",
+                  "Shared %"});
+
+    std::ostringstream bars;
+    constexpr char glyphs[] = {'C', 'M', 'j', 'w', 'H', 's'};
+    double full_scale = 0;
+    for (const JavaProcRow &pr : procs) {
+        const ProcessUsage &pu = acct.usage(pr.vm, pr.pid);
+        full_scale = std::max(
+            full_scale,
+            static_cast<double>(pu.ownedTotal() + pu.sharedTotal()));
+    }
+
+    for (const JavaProcRow &pr : procs) {
+        const ProcessUsage &pu = acct.usage(pr.vm, pr.pid);
+        auto rows = javaCategoryRows(pu);
+        std::vector<BarSegment> segs;
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const auto &row = rows[i];
+            const Bytes total = row.use + row.shared;
+            const double pct =
+                total == 0 ? 0.0
+                           : 100.0 * static_cast<double>(row.shared) /
+                                 static_cast<double>(total);
+            char pctbuf[32];
+            std::snprintf(pctbuf, sizeof(pctbuf), "%.1f%%", pct);
+            table.addRow({pr.label, row.label, formatMiB(row.use),
+                          formatMiB(row.shared), pctbuf});
+            segs.push_back({row.label, static_cast<double>(total),
+                            glyphs[i % sizeof(glyphs)]});
+        }
+        const Bytes total_use = pu.ownedTotal();
+        const Bytes total_shared = pu.sharedTotal();
+        table.addRow({pr.label, "TOTAL", formatMiB(total_use),
+                      formatMiB(total_shared), ""});
+        bars << renderStackedBar(pr.label, segs, full_scale, 64) << "\n";
+    }
+
+    std::vector<BarSegment> legend;
+    const char *names[] = {"Code", "Class metadata", "JIT-compiled code",
+                           "JVM and JIT work", "Java heap", "Stack"};
+    for (std::size_t i = 0; i < 6; ++i)
+        legend.push_back({names[i], 0, glyphs[i]});
+
+    std::ostringstream out;
+    out << table.render() << "\n"
+        << bars.str() << renderBarLegend(legend) << "\n";
+    return out.str();
+}
+
+std::string
+vmBreakdownCsv(const OwnerAccounting &acct,
+               const std::vector<std::string> &vm_names)
+{
+    TextTable table;
+    table.addRow({"vm", "java_mib", "other_user_mib", "kernel_mib",
+                  "vm_self_mib", "saving_java_mib", "saving_other_mib",
+                  "saving_kernel_mib"});
+    for (VmId v = 0; v < vm_names.size(); ++v) {
+        const VmBreakdown bd = acct.vmBreakdown(v);
+        table.addRow({vm_names[v], formatMiB(bd.java),
+                      formatMiB(bd.otherUser), formatMiB(bd.kernel),
+                      formatMiB(bd.vmSelf), formatMiB(bd.savingJava),
+                      formatMiB(bd.savingOther),
+                      formatMiB(bd.savingKernel)});
+    }
+    return table.renderCsv();
+}
+
+std::string
+javaBreakdownCsv(const OwnerAccounting &acct,
+                 const std::vector<JavaProcRow> &procs)
+{
+    TextTable table;
+    table.addRow({"process", "category", "use_mib", "shared_mib"});
+    for (const JavaProcRow &pr : procs) {
+        for (const auto &row : javaCategoryRows(acct.usage(pr.vm, pr.pid))) {
+            table.addRow({pr.label, row.label, formatMiB(row.use),
+                          formatMiB(row.shared)});
+        }
+    }
+    return table.renderCsv();
+}
+
+} // namespace jtps::analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Report rendering for the paper's figures.
+ *
+ * The benches print two kinds of breakdowns:
+ *  - Fig. 2 / Fig. 4 style: per-VM physical memory usage by component
+ *    (Java / other user processes / guest kernel / the VM itself) plus
+ *    per-VM TPS savings.
+ *  - Fig. 3 / Fig. 5 style: per-Java-process usage by the paper's
+ *    memory categories, with the TPS-shared amount per category. The
+ *    paper's figures merge "JIT work area" and "JVM work area" into one
+ *    "JVM and JIT work" series, and we do the same.
+ */
+
+#ifndef JTPS_ANALYSIS_REPORT_HH
+#define JTPS_ANALYSIS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "analysis/accounting.hh"
+
+namespace jtps::analysis
+{
+
+/** Identifies one Java process to include in a Fig. 3-style report. */
+struct JavaProcRow
+{
+    std::string label; //!< e.g. "JVM1"
+    VmId vm = invalidVm;
+    Pid pid = invalidPid;
+};
+
+/** The six category series of the paper's Fig. 3/5 charts. */
+struct JavaCategoryRow
+{
+    std::string label;
+    Bytes use = 0;    //!< physical memory attributed (owned)
+    Bytes shared = 0; //!< TPS-shared (mapped, owned elsewhere)
+};
+
+/** Compute the paper's six merged category series for one process. */
+std::vector<JavaCategoryRow> javaCategoryRows(const ProcessUsage &pu);
+
+/** Render the Fig. 2 / Fig. 4 per-VM breakdown (table + bars). */
+std::string renderVmBreakdownReport(
+    const OwnerAccounting &acct,
+    const std::vector<std::string> &vm_names);
+
+/** Render the Fig. 3 / Fig. 5 per-JVM category breakdown. */
+std::string renderJavaBreakdownReport(
+    const OwnerAccounting &acct, const std::vector<JavaProcRow> &procs);
+
+/** CSV version of the per-VM breakdown (one row per VM). */
+std::string vmBreakdownCsv(const OwnerAccounting &acct,
+                           const std::vector<std::string> &vm_names);
+
+/** CSV version of the per-JVM category breakdown. */
+std::string javaBreakdownCsv(const OwnerAccounting &acct,
+                             const std::vector<JavaProcRow> &procs);
+
+} // namespace jtps::analysis
+
+#endif // JTPS_ANALYSIS_REPORT_HH

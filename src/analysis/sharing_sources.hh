@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Where does the sharing come from?
+ *
+ * The paper's §III.A doesn't stop at per-category totals: it names the
+ * *sources* — "most of the shared pages were those filled with zeros"
+ * in the heap; "the buffers of the NIO socket library in Java, the
+ * unused part of the memory blocks for the malloc arenas, and the
+ * internal data structures that were allocated in bulk but not yet
+ * used" in the JVM work area. This module reproduces that analysis:
+ * every TPS-shared guest page is attributed to its VMA and classified
+ * by content (zero vs. data), yielding a ranked source table.
+ */
+
+#ifndef JTPS_ANALYSIS_SHARING_SOURCES_HH
+#define JTPS_ANALYSIS_SHARING_SOURCES_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "base/units.hh"
+#include "guest/guest_os.hh"
+#include "hv/hypervisor.hh"
+
+namespace jtps::analysis
+{
+
+/** One source of TPS-shared pages. */
+struct SharingSource
+{
+    std::string vmaName;   //!< e.g. "nio-buffers", "java-heap"
+    guest::MemCategory category = guest::MemCategory::OtherProcess;
+    Bytes zeroBytes = 0;   //!< shared pages that are zero-filled
+    Bytes dataBytes = 0;   //!< shared pages with real content
+
+    Bytes total() const { return zeroBytes + dataBytes; }
+};
+
+/**
+ * Scan one guest's mapped pages and collect, per VMA name, the bytes
+ * whose backing host frame is shared (refcount > 1), split into zero
+ * and non-zero content. Sorted by descending total.
+ */
+std::vector<SharingSource> collectSharingSources(
+    const guest::GuestOs &os);
+
+/** Render the ranked source table (top @p limit rows). */
+std::string renderSharingSources(
+    const std::vector<SharingSource> &sources, std::size_t limit = 12);
+
+} // namespace jtps::analysis
+
+#endif // JTPS_ANALYSIS_SHARING_SOURCES_HH

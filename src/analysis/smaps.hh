@@ -1,0 +1,67 @@
+/**
+ * @file
+ * /proc/<pid>/smaps-style per-VMA reporting.
+ *
+ * The paper's §II.A grounds its accounting discussion in Linux's
+ * smaps: "In Linux, the values of PSS in the /proc/<pid>/smaps files
+ * are calculated using this [distribution-oriented] approach." This
+ * module produces the same per-mapping view for a guest process:
+ * for every VMA, the resident size (Rss), proportional set size (Pss),
+ * and the split into pages mapped once vs. shared — computed from the
+ * *host* frame table, i.e. what an smaps inside the guest could never
+ * see: TPS-merged frames count as shared here even though the guest
+ * believes they are private.
+ */
+
+#ifndef JTPS_ANALYSIS_SMAPS_HH
+#define JTPS_ANALYSIS_SMAPS_HH
+
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "base/units.hh"
+#include "guest/guest_os.hh"
+#include "hv/hypervisor.hh"
+
+namespace jtps::analysis
+{
+
+/** One VMA's smaps entry. */
+struct SmapsEntry
+{
+    std::string name;          //!< VMA name
+    guest::MemCategory category = guest::MemCategory::OtherProcess;
+    Vpn startVpn = 0;
+    Bytes size = 0;            //!< virtual size of the mapping
+    Bytes rss = 0;             //!< resident bytes (host frames)
+    double pss = 0.0;          //!< proportional set size
+    Bytes sharedClean = 0;     //!< resident, frame refcount > 1
+    Bytes privateClean = 0;    //!< resident, frame refcount == 1
+    Bytes swap = 0;            //!< swapped out by the host
+};
+
+/** smaps of one whole process. */
+struct ProcessSmaps
+{
+    Pid pid = invalidPid;
+    std::string processName;
+    std::vector<SmapsEntry> entries;
+
+    Bytes rssTotal() const;
+    double pssTotal() const;
+    Bytes swapTotal() const;
+};
+
+/**
+ * Compute the smaps view of one guest process, resolving every mapped
+ * page through the guest page table and the hypervisor's EPT.
+ */
+ProcessSmaps computeSmaps(const guest::GuestOs &os, Pid pid);
+
+/** Render in the familiar /proc format (sizes in kB, one block/VMA). */
+std::string renderSmaps(const ProcessSmaps &smaps);
+
+} // namespace jtps::analysis
+
+#endif // JTPS_ANALYSIS_SMAPS_HH

@@ -1,0 +1,74 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace jtps
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool v)
+{
+    verboseFlag = v;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    std::fprintf(stderr, "warn: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "\n");
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseFlag)
+        return;
+    std::printf("info: ");
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::printf("\n");
+}
+
+} // namespace jtps

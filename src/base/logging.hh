@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Status and error reporting, following the gem5 convention:
+ *
+ *  - panic():  a simulator bug — a condition that must never happen
+ *              regardless of user input. Aborts.
+ *  - fatal():  a user error (bad configuration, impossible scenario).
+ *              Exits with status 1.
+ *  - warn():   something works, but not as well as it should.
+ *  - inform(): plain status output.
+ */
+
+#ifndef JTPS_BASE_LOGGING_HH
+#define JTPS_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace jtps
+{
+
+/** Abort with a formatted message; use for internal invariant violations. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for configuration errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (benches silence it). */
+void setVerbose(bool verbose);
+
+/** Current verbosity. */
+bool verbose();
+
+/**
+ * panic() if @p cond is false. Unlike assert() this is always compiled in:
+ * the invariants it protects (refcounts, translation totality) are cheap
+ * and the simulator is useless if they do not hold.
+ */
+#define jtps_assert(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond))                                                        \
+            ::jtps::panic("assertion '%s' failed at %s:%d", #cond,          \
+                          __FILE__, __LINE__);                              \
+    } while (0)
+
+} // namespace jtps
+
+#endif // JTPS_BASE_LOGGING_HH

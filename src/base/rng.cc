@@ -1,0 +1,90 @@
+#include "base/rng.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace jtps
+{
+
+void
+Rng::reseed(std::uint64_t seed)
+{
+    // Seed the four state words through SplitMix64 so that nearby seeds
+    // produce unrelated streams.
+    std::uint64_t sm = seed;
+    for (auto &word : s) {
+        sm += 0x9e3779b97f4a7c15ULL;
+        word = mix64(sm);
+    }
+    // xoshiro must not start from the all-zero state.
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        s[0] = 1;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    jtps_assert(bound != 0);
+    // Rejection sampling to avoid modulo bias; the loop almost never
+    // iterates for the small bounds the simulator uses.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t lo, std::uint64_t hi)
+{
+    jtps_assert(lo <= hi);
+    return lo + nextBelow(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return nextDouble() < p;
+}
+
+void
+Rng::perturbOrder(std::vector<std::uint32_t> &order, double p,
+                  std::uint32_t window)
+{
+    if (order.size() < 2 || window == 0)
+        return;
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+        if (!bernoulli(p))
+            continue;
+        std::size_t max_off = std::min<std::size_t>(window,
+                                                    order.size() - 1 - i);
+        std::size_t j = i + nextRange(1, max_off);
+        std::swap(order[i], order[j]);
+    }
+}
+
+} // namespace jtps

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every source of modelled nondeterminism (thread-timing perturbation of
+ * class-load order, per-process allocation addresses, JIT profile
+ * fingerprints, request interleaving) draws from an Rng seeded from the
+ * scenario seed, so a scenario replays bit-identically — one of the test
+ * suite's core invariants.
+ */
+
+#ifndef JTPS_BASE_RNG_HH
+#define JTPS_BASE_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/hash.hh"
+
+namespace jtps
+{
+
+/**
+ * xoshiro256** generator (Blackman & Vigna), seeded through SplitMix64 as
+ * its authors recommend. Small, fast, and plenty good for a simulator.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x6a746573656564ULL) { reseed(seed); }
+
+    /** Reset the stream from @p seed. */
+    void reseed(std::uint64_t seed);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t nextRange(std::uint64_t lo, std::uint64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** True with probability @p p. */
+    bool bernoulli(double p);
+
+    /**
+     * Fisher-Yates-style *local* perturbation of an index order: each
+     * element may swap with a neighbour within @p window slots with
+     * probability @p p. This models thread-timing jitter in class-load
+     * order: the overall order is preserved, but exact neighbours differ
+     * between processes — enough to destroy page-content equality.
+     */
+    void perturbOrder(std::vector<std::uint32_t> &order, double p,
+                      std::uint32_t window);
+
+  private:
+    std::uint64_t s[4];
+
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+};
+
+} // namespace jtps
+
+#endif // JTPS_BASE_RNG_HH

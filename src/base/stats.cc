@@ -1,0 +1,89 @@
+#include "base/stats.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace jtps
+{
+
+void
+StatSet::inc(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatSet::dec(const std::string &name, std::uint64_t delta)
+{
+    auto it = counters_.find(name);
+    jtps_assert(it != counters_.end() && it->second >= delta);
+    it->second -= delta;
+}
+
+void
+StatSet::set(const std::string &name, std::uint64_t value)
+{
+    counters_[name] = value;
+}
+
+void
+StatSet::setScalar(const std::string &name, double value)
+{
+    scalars_[name] = value;
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatSet::getScalar(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second;
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return counters_.count(name) || scalars_.count(name);
+}
+
+std::string
+StatSet::render() const
+{
+    std::size_t width = 0;
+    for (const auto &kv : counters_)
+        width = std::max(width, kv.first.size());
+    for (const auto &kv : scalars_)
+        width = std::max(width, kv.first.size());
+
+    std::ostringstream out;
+    char buf[160];
+    for (const auto &kv : counters_) {
+        std::snprintf(buf, sizeof(buf), "%-*s %20llu\n",
+                      static_cast<int>(width), kv.first.c_str(),
+                      static_cast<unsigned long long>(kv.second));
+        out << buf;
+    }
+    for (const auto &kv : scalars_) {
+        std::snprintf(buf, sizeof(buf), "%-*s %20.4f\n",
+                      static_cast<int>(width), kv.first.c_str(), kv.second);
+        out << buf;
+    }
+    return out.str();
+}
+
+void
+StatSet::clear()
+{
+    counters_.clear();
+    scalars_.clear();
+}
+
+} // namespace jtps

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal named-statistics registry.
+ *
+ * Components register counters ("ksm.pages_shared", "hv.cow_breaks") into
+ * a StatSet owned by the scenario. Benches and tests read them by name;
+ * the registry can dump itself as an aligned table.
+ */
+
+#ifndef JTPS_BASE_STATS_HH
+#define JTPS_BASE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace jtps
+{
+
+/**
+ * A set of named 64-bit counters and floating-point scalars.
+ *
+ * The container is a std::map so that dump order is deterministic —
+ * stat output is diffed by the determinism tests.
+ */
+class StatSet
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void inc(const std::string &name, std::uint64_t delta = 1);
+
+    /** Subtract @p delta from counter @p name (must not underflow). */
+    void dec(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set counter @p name to an absolute value. */
+    void set(const std::string &name, std::uint64_t value);
+
+    /** Set scalar @p name. */
+    void setScalar(const std::string &name, double value);
+
+    /** Read a counter; returns 0 if it was never touched. */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Read a scalar; returns 0.0 if it was never touched. */
+    double getScalar(const std::string &name) const;
+
+    /** True if the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** Render all stats as an aligned two-column table. */
+    std::string render() const;
+
+    /** Drop all stats. */
+    void clear();
+
+    /** All counters, for iteration in tests. */
+    const std::map<std::string, std::uint64_t> &counters() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> scalars_;
+};
+
+} // namespace jtps
+
+#endif // JTPS_BASE_STATS_HH

@@ -1,0 +1,109 @@
+#include "base/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace jtps
+{
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    if (rows_.empty())
+        return "";
+
+    std::size_t cols = 0;
+    for (const auto &row : rows_)
+        cols = std::max(cols, row.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    std::ostringstream out;
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const auto &row = rows_[r];
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << row[c];
+            if (c + 1 < row.size())
+                out << std::string(width[c] - row[c].size() + 2, ' ');
+        }
+        out << "\n";
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t c = 0; c < cols; ++c)
+                total += width[c] + (c + 1 < cols ? 2 : 0);
+            out << std::string(total, '-') << "\n";
+        }
+    }
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream out;
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            std::string cell = row[c];
+            bool quote = cell.find_first_of(",\"\n") != std::string::npos;
+            if (quote) {
+                std::string escaped = "\"";
+                for (char ch : cell) {
+                    if (ch == '"')
+                        escaped += "\"\"";
+                    else
+                        escaped += ch;
+                }
+                escaped += "\"";
+                cell = escaped;
+            }
+            out << cell;
+            if (c + 1 < row.size())
+                out << ",";
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+renderStackedBar(const std::string &label,
+                 const std::vector<BarSegment> &segments, double full_scale,
+                 int width)
+{
+    std::ostringstream out;
+    out << label << " |";
+    if (full_scale <= 0)
+        full_scale = 1;
+    int used = 0;
+    for (const auto &seg : segments) {
+        int w = static_cast<int>(
+            std::lround(seg.value / full_scale * width));
+        w = std::max(0, std::min(w, width - used));
+        out << std::string(w, seg.glyph);
+        used += w;
+    }
+    out << std::string(std::max(0, width - used), ' ') << "|";
+    return out.str();
+}
+
+std::string
+renderBarLegend(const std::vector<BarSegment> &segments)
+{
+    std::ostringstream out;
+    out << "legend:";
+    for (const auto &seg : segments)
+        out << " " << seg.glyph << "=" << seg.label;
+    return out.str();
+}
+
+} // namespace jtps

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Text rendering helpers for bench output: aligned tables, horizontal
+ * stacked bars (the paper's figures are stacked bar charts), and CSV.
+ */
+
+#ifndef JTPS_BASE_TABLE_HH
+#define JTPS_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace jtps
+{
+
+/**
+ * An aligned text table. Columns size themselves to the widest cell;
+ * the first row added is the header.
+ */
+class TextTable
+{
+  public:
+    /** Add a row of cells. All rows should have the same arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header underline and two-space column gaps. */
+    std::string render() const;
+
+    /** Render as CSV (no alignment, comma-separated, quoted as needed). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** One segment of a stacked horizontal bar. */
+struct BarSegment
+{
+    std::string label;  //!< segment name (e.g. "Java heap")
+    double value;       //!< segment size in the chart's unit
+    char glyph;         //!< fill character for this segment
+};
+
+/**
+ * Render a labelled stacked horizontal bar, scaled so that @p full_scale
+ * maps to @p width characters. Used to echo the paper's stacked-bar
+ * figures in terminal output.
+ */
+std::string renderStackedBar(const std::string &label,
+                             const std::vector<BarSegment> &segments,
+                             double full_scale, int width);
+
+/** Render a legend line ("a=Code b=Class metadata ..."). */
+std::string renderBarLegend(const std::vector<BarSegment> &segments);
+
+} // namespace jtps
+
+#endif // JTPS_BASE_TABLE_HH

@@ -1,0 +1,40 @@
+#include "base/units.hh"
+
+#include <cstdio>
+
+namespace jtps
+{
+
+std::string
+formatBytes(Bytes bytes)
+{
+    char buf[64];
+    if (bytes >= GiB && bytes % (GiB / 100) == 0) {
+        std::snprintf(buf, sizeof(buf), "%.2f GiB",
+                      static_cast<double>(bytes) / GiB);
+    } else if (bytes >= GiB) {
+        std::snprintf(buf, sizeof(buf), "%.3f GiB",
+                      static_cast<double>(bytes) / GiB);
+    } else if (bytes >= MiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                      static_cast<double>(bytes) / MiB);
+    } else if (bytes >= KiB) {
+        std::snprintf(buf, sizeof(buf), "%.1f KiB",
+                      static_cast<double>(bytes) / KiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    }
+    return buf;
+}
+
+std::string
+formatMiB(Bytes bytes)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f",
+                  static_cast<double>(bytes) / MiB);
+    return buf;
+}
+
+} // namespace jtps

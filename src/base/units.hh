@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Byte-size units and page-size helpers.
+ *
+ * The whole model works at 4 KiB page granularity, matching both the
+ * x86-64 base page size used by the paper's KVM measurements and the KSM
+ * merge granularity.
+ */
+
+#ifndef JTPS_BASE_UNITS_HH
+#define JTPS_BASE_UNITS_HH
+
+#include <string>
+
+#include "base/types.hh"
+
+namespace jtps
+{
+
+constexpr Bytes KiB = 1024;
+constexpr Bytes MiB = 1024 * KiB;
+constexpr Bytes GiB = 1024 * MiB;
+
+/** Base page size of the modelled platform (4 KiB, as in the paper). */
+constexpr Bytes pageSize = 4 * KiB;
+
+/** Number of pages needed to hold @p bytes (rounding up). */
+constexpr std::uint64_t
+bytesToPages(Bytes bytes)
+{
+    return (bytes + pageSize - 1) / pageSize;
+}
+
+/** Size in bytes of @p pages pages. */
+constexpr Bytes
+pagesToBytes(std::uint64_t pages)
+{
+    return pages * pageSize;
+}
+
+/** Round @p bytes up to the next page boundary. */
+constexpr Bytes
+pageAlignUp(Bytes bytes)
+{
+    return bytesToPages(bytes) * pageSize;
+}
+
+/**
+ * Render a byte count as a human-readable string ("1.25 GiB", "512 KiB",
+ * "173 B"). Used by the report renderers.
+ */
+std::string formatBytes(Bytes bytes);
+
+/** Render a byte count in MiB with one decimal, the paper's usual unit. */
+std::string formatMiB(Bytes bytes);
+
+} // namespace jtps
+
+#endif // JTPS_BASE_UNITS_HH

@@ -1,0 +1,93 @@
+#include "core/paper_tables.hh"
+
+#include "base/table.hh"
+#include "base/units.hh"
+#include "core/power_scenario.hh"
+#include "core/scenario.hh"
+#include "workload/workload_spec.hh"
+
+namespace jtps::core
+{
+
+std::string
+renderTable1()
+{
+    ScenarioConfig intel;
+    PowerScenarioConfig power;
+
+    TextTable t;
+    t.addRow({"", "Intel platform (modelled)", "POWER platform (modelled)"});
+    t.addRow({"Machine", "IBM BladeCenter LS21", "IBM BladeCenter PS701"});
+    t.addRow({"RAM size", formatBytes(intel.host.ramBytes),
+              formatBytes(power.host.ramBytes)});
+    t.addRow({"Host OS", "RHEL 5.5 (modelled kernel '" +
+                             intel.kernel.version + "')",
+              "N/A"});
+    t.addRow({"Hypervisor", "KVM (process-VM model + KSM)",
+              "PowerVM 2.1 (system-VM model)"});
+    return t.render();
+}
+
+std::string
+renderTable2()
+{
+    ScenarioConfig intel;
+    PowerScenarioConfig power;
+    auto dt = workload::dayTraderIntel();
+    auto sj = workload::specjEnterprise2010();
+    auto dtp = workload::dayTraderPower();
+
+    TextTable t;
+    t.addRow({"", "Guest VM, Intel platform", "Guest VM, POWER platform"});
+    t.addRow({"Guest memory",
+              formatBytes(dt.guestMemBytes) + " (DayTrader/TPC-W/Tuscany), " +
+                  formatBytes(sj.guestMemBytes) + " (SPECjEnterprise)",
+              formatBytes(dtp.guestMemBytes)});
+    t.addRow({"OS", "RHEL 5.5 ('" + intel.kernel.version + "')",
+              power.kernel.version});
+    t.addRow({"KSM scanner",
+              std::to_string(intel.ksm.pagesToScan) + " pages per scan, " +
+                  std::to_string(intel.ksm.sleepMillisecs) + " ms interval",
+              "N/A (firmware TPS)"});
+    t.addRow({"WAS version", dt.middleware, dtp.middleware});
+    t.addRow({"Java VM", "IBM J9 (Java 6 SR9) [modelled]",
+              "IBM J9 (Java 6 SR9) [modelled]"});
+    return t.render();
+}
+
+std::string
+renderTable3()
+{
+    auto dt = workload::dayTraderIntel();
+    auto sj = workload::specjEnterprise2010();
+    auto tw = workload::tpcwJava();
+    auto tb = workload::tuscanyBigbank();
+    auto dtp = workload::dayTraderPower();
+
+    TextTable t;
+    t.addRow({"", "DayTrader(Intel)", "SPECjEnterprise", "TPC-W",
+              "Tuscany bigbank", "DayTrader(POWER)"});
+    t.addRow({"Benchmark version", dt.version, sj.version, tw.version,
+              tb.version, dtp.version});
+    t.addRow({"Client driver",
+              std::to_string(dt.clientThreads) + " threads",
+              "injection rate " + std::to_string(sj.clientThreads),
+              std::to_string(tw.clientThreads) + " threads",
+              std::to_string(tb.clientThreads) + " threads",
+              std::to_string(dtp.clientThreads) + " threads"});
+    t.addRow({"Java heap (min=max)", formatBytes(dt.gc.heapBytes),
+              formatBytes(sj.gc.heapBytes) + " (nursery " +
+                  formatBytes(sj.gc.nurseryBytes) + ")",
+              formatBytes(tw.gc.heapBytes), formatBytes(tb.gc.heapBytes),
+              formatBytes(dtp.gc.heapBytes)});
+    t.addRow({"Shared class cache", formatBytes(dt.sharedCacheBytes),
+              formatBytes(sj.sharedCacheBytes),
+              formatBytes(tw.sharedCacheBytes),
+              formatBytes(tb.sharedCacheBytes),
+              formatBytes(dtp.sharedCacheBytes)});
+    t.addRow({"GC policy", "optthruput", "gencon", "optthruput",
+              "optthruput", "optthruput"});
+    return t.render();
+}
+
+} // namespace jtps::core

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Renderers for the paper's configuration tables (Tables I-III), built
+ * from the same structs the simulator actually runs with, so the
+ * printed configuration can never drift from the modelled one.
+ */
+
+#ifndef JTPS_CORE_PAPER_TABLES_HH
+#define JTPS_CORE_PAPER_TABLES_HH
+
+#include <string>
+
+namespace jtps::core
+{
+
+/** Table I: environment of the physical machines. */
+std::string renderTable1();
+
+/** Table II: configuration of a guest VM. */
+std::string renderTable2();
+
+/** Table III: configuration of the Java applications and JVMs. */
+std::string renderTable3();
+
+} // namespace jtps::core
+
+#endif // JTPS_CORE_PAPER_TABLES_HH

@@ -1,0 +1,146 @@
+#include "core/placement.hh"
+
+#include <algorithm>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "guest/guest_os.hh"
+
+namespace jtps::core
+{
+
+SharingFingerprint
+SharingFingerprint::forWorkload(const workload::WorkloadSpec &spec,
+                                bool class_sharing)
+{
+    SharingFingerprint fp;
+
+    // Guest kernel image + base-image boot cache: every guest built
+    // from the base image carries these.
+    guest::KernelConfig kernel;
+    fp.components[stringTag(kernel.version + ".text")] =
+        kernel.textBytes;
+    fp.components[stringTag("base-image:/usr")] =
+        kernel.sharedBootCacheBytes;
+
+    // Native library text (tag per image, as GuestOs maps them).
+    for (const auto &lib : spec.libs)
+        fp.components[stringTag("lib/" + lib.name)] = lib.textBytes;
+
+    // The copied shared-class-cache archive. The planner only needs a
+    // stable identity per (cache name, middleware); the real content
+    // tag depends on the population, but equality matches it exactly.
+    if (class_sharing) {
+        fp.components[hashCombine(
+            stringTag(spec.cacheName),
+            stringTag(spec.classSpec.middlewareName))] =
+            static_cast<Bytes>(spec.sharedCacheBytes * 0.9);
+    }
+
+    // Benchmark payload in the NIO buffers (same benchmark => same
+    // bytes on the wire).
+    fp.components[hashCombine(stringTag("nio-payload"),
+                              stringTag(spec.name + spec.version))] =
+        spec.nioBufferBytes;
+
+    return fp;
+}
+
+Bytes
+SharingFingerprint::sharedWith(const SharingFingerprint &other) const
+{
+    Bytes total = 0;
+    for (const auto &[tag, bytes] : components) {
+        auto it = other.components.find(tag);
+        if (it != other.components.end())
+            total += std::min(bytes, it->second);
+    }
+    return total;
+}
+
+Bytes
+SharingFingerprint::totalBytes() const
+{
+    Bytes total = 0;
+    for (const auto &kv : components)
+        total += kv.second;
+    return total;
+}
+
+Bytes
+PlacementPlanner::estimateHostSharing(
+    const std::vector<SharingFingerprint> &fingerprints,
+    const std::vector<std::size_t> &members)
+{
+    // Owner-oriented estimate: for each content tag present on the
+    // host, every copy beyond the first is saved.
+    std::map<std::uint64_t, std::pair<Bytes, unsigned>> tags;
+    for (std::size_t m : members) {
+        for (const auto &[tag, bytes] : fingerprints[m].components) {
+            auto &entry = tags[tag];
+            entry.first = std::max(entry.first, bytes);
+            ++entry.second;
+        }
+    }
+    Bytes total = 0;
+    for (const auto &[tag, entry] : tags) {
+        (void)tag;
+        if (entry.second > 1)
+            total += entry.first * (entry.second - 1);
+    }
+    return total;
+}
+
+std::vector<std::vector<std::size_t>>
+PlacementPlanner::plan(const std::vector<workload::WorkloadSpec> &specs,
+                       std::size_t per_host, bool class_sharing)
+{
+    jtps_assert(per_host > 0);
+    const std::size_t hosts =
+        (specs.size() + per_host - 1) / per_host;
+
+    std::vector<SharingFingerprint> fps;
+    fps.reserve(specs.size());
+    for (const auto &spec : specs)
+        fps.push_back(SharingFingerprint::forWorkload(spec,
+                                                      class_sharing));
+
+    std::vector<std::vector<std::size_t>> placement(hosts);
+    std::vector<bool> placed(specs.size(), false);
+
+    // Greedy: repeatedly take the unplaced VM whose marginal sharing
+    // gain on some non-full host is largest (ties: lowest index, so
+    // the plan is deterministic).
+    for (std::size_t round = 0; round < specs.size(); ++round) {
+        std::size_t best_vm = specs.size();
+        std::size_t best_host = hosts;
+        Bytes best_gain = 0;
+        bool found = false;
+
+        for (std::size_t v = 0; v < specs.size(); ++v) {
+            if (placed[v])
+                continue;
+            for (std::size_t h = 0; h < hosts; ++h) {
+                if (placement[h].size() >= per_host)
+                    continue;
+                auto with = placement[h];
+                with.push_back(v);
+                const Bytes gain =
+                    estimateHostSharing(fps, with) -
+                    estimateHostSharing(fps, placement[h]);
+                if (!found || gain > best_gain) {
+                    found = true;
+                    best_gain = gain;
+                    best_vm = v;
+                    best_host = h;
+                }
+            }
+        }
+        jtps_assert(found);
+        placement[best_host].push_back(best_vm);
+        placed[best_vm] = true;
+    }
+    return placement;
+}
+
+} // namespace jtps::core

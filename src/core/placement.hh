@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Sharing-aware VM placement (Memory Buddies, paper §VI).
+ *
+ * Wood et al. estimate cross-VM page sharing from per-VM memory
+ * fingerprints and collocate VMs that would share most. This module
+ * implements the same idea over the simulator's content model: a
+ * workload's *sharing fingerprint* is the set of shareable content
+ * components it maps (kernel image, base-image cache, library text,
+ * the copied shared-class-cache archive, benchmark payloads), each
+ * with its shareable size. Two VMs' expected sharing is the overlap of
+ * their fingerprints, and a greedy planner packs hosts to maximize it.
+ */
+
+#ifndef JTPS_CORE_PLACEMENT_HH
+#define JTPS_CORE_PLACEMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "base/units.hh"
+#include "workload/workload_spec.hh"
+
+namespace jtps::core
+{
+
+/** Shareable-content fingerprint of one guest VM. */
+struct SharingFingerprint
+{
+    /** content tag -> shareable bytes behind that tag. */
+    std::map<std::uint64_t, Bytes> components;
+
+    /**
+     * Build the fingerprint a guest running @p spec would expose.
+     * @param class_sharing Whether the copied shared class cache (and
+     *        so its archive tag) is deployed.
+     */
+    static SharingFingerprint forWorkload(
+        const workload::WorkloadSpec &spec, bool class_sharing);
+
+    /** Expected bytes shareable with another VM: overlap of tags. */
+    Bytes sharedWith(const SharingFingerprint &other) const;
+
+    /** Total shareable bytes this VM exposes. */
+    Bytes totalBytes() const;
+};
+
+/**
+ * Greedy sharing-aware packer.
+ */
+class PlacementPlanner
+{
+  public:
+    /**
+     * Place @p specs onto hosts of @p per_host slots each, greedily
+     * maximizing the estimated intra-host sharing.
+     * @return per-host lists of indices into @p specs.
+     */
+    static std::vector<std::vector<std::size_t>> plan(
+        const std::vector<workload::WorkloadSpec> &specs,
+        std::size_t per_host, bool class_sharing);
+
+    /** Estimated sharing if @p members land on one host. */
+    static Bytes estimateHostSharing(
+        const std::vector<SharingFingerprint> &fingerprints,
+        const std::vector<std::size_t> &members);
+};
+
+} // namespace jtps::core
+
+#endif // JTPS_CORE_PLACEMENT_HH

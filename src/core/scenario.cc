@@ -1,0 +1,248 @@
+#include "core/scenario.hh"
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+
+namespace jtps::core
+{
+
+Scenario::Scenario(const ScenarioConfig &cfg,
+                   std::vector<workload::WorkloadSpec> per_vm_workloads)
+    : cfg_(cfg), specs_(std::move(per_vm_workloads)),
+      disk_(cfg.diskIops, cfg.diskLatencyMs)
+{
+    jtps_assert(!specs_.empty());
+}
+
+Scenario::~Scenario() = default;
+
+void
+Scenario::build()
+{
+    jtps_assert(!built_);
+    built_ = true;
+
+    hv_ = std::make_unique<hv::KvmHypervisor>(cfg_.host, stats_);
+    ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, cfg_.ksm, stats_);
+
+    // Synthesize each distinct program's class set once: the classes
+    // are a property of the installed software, not of a VM.
+    for (const auto &spec : specs_) {
+        const std::string &key = spec.classSpec.programName;
+        if (!class_sets_.count(key)) {
+            class_sets_.emplace(key,
+                                std::make_unique<jvm::ClassSet>(
+                                    jvm::ClassSet::synthesize(
+                                        spec.classSpec)));
+        }
+    }
+
+    // Populate shared class caches. With copyCacheToAllVms (the paper's
+    // §IV.C deployment) one population per middleware cache name is
+    // copied everywhere; otherwise each VM populates its own cache with
+    // a per-VM salt (identical classes, different layout).
+    vm_cache_.assign(specs_.size(), nullptr);
+    if (cfg_.enableClassSharing) {
+        if (cfg_.copyCacheToAllVms) {
+            std::map<std::string, const jvm::SharedClassCache *> by_name;
+            for (std::size_t i = 0; i < specs_.size(); ++i) {
+                const auto &spec = specs_[i];
+                auto it = by_name.find(spec.cacheName);
+                if (it == by_name.end()) {
+                    caches_.push_back(
+                        std::make_unique<jvm::SharedClassCache>(
+                            jvm::SharedClassCache::build(
+                                *class_sets_.at(spec.classSpec.programName),
+                                spec.cacheName, spec.sharedCacheBytes,
+                                cfg_.cacheScope)));
+                    if (cfg_.aotCacheBytes > 0) {
+                        caches_.back()->addAotSection(
+                            cfg_.aotMethodCount, cfg_.aotAvgMethodBytes,
+                            cfg_.aotCacheBytes);
+                    }
+                    it = by_name
+                             .emplace(spec.cacheName, caches_.back().get())
+                             .first;
+                }
+                vm_cache_[i] = it->second;
+            }
+        } else {
+            for (std::size_t i = 0; i < specs_.size(); ++i) {
+                const auto &spec = specs_[i];
+                caches_.push_back(
+                    std::make_unique<jvm::SharedClassCache>(
+                        jvm::SharedClassCache::build(
+                            *class_sets_.at(spec.classSpec.programName),
+                            spec.cacheName, spec.sharedCacheBytes,
+                            cfg_.cacheScope,
+                            /*population_salt=*/i + 1)));
+                vm_cache_[i] = caches_.back().get();
+            }
+        }
+    }
+
+    // Guests: create the VM, boot the kernel, start daemons, start WAS.
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        const auto &spec = specs_[i];
+        const std::string vm_name = "VM" + std::to_string(i + 1);
+        const VmId vm_id = hv_->createVm(vm_name, spec.guestMemBytes,
+                                         cfg_.vmOverheadBytes);
+        jtps_assert(vm_id == i);
+
+        guests_.push_back(std::make_unique<guest::GuestOs>(
+            *hv_, vm_id, vm_name, hash3(cfg_.seed, stringTag("guest"), i)));
+        guest::GuestOs &os = *guests_.back();
+        os.setThpEnabled(cfg_.guestThp);
+        os.bootKernel(cfg_.kernel);
+
+        if (cfg_.spawnDaemons) {
+            os.spawnDaemon("sshd", 2 * MiB, 1536 * KiB);
+            os.spawnDaemon("syslogd", 1 * MiB, 512 * KiB);
+            os.spawnDaemon("crond", 1 * MiB, 512 * KiB);
+            os.spawnDaemon("snmpd", 2 * MiB, 1 * MiB);
+        }
+
+        jvm::JavaVmConfig jcfg = workload::makeJvmConfig(
+            spec, *class_sets_.at(spec.classSpec.programName),
+            vm_cache_[i]);
+        jvms_.push_back(
+            std::make_unique<jvm::JavaVm>(os, jcfg, "was-server"));
+        jvms_.back()->start();
+
+        drivers_.push_back(std::make_unique<workload::ClientDriver>(
+            *jvms_.back(), specs_[i], disk_));
+    }
+}
+
+void
+Scenario::scheduleEpochs()
+{
+    if (epochs_scheduled_)
+        return;
+    epochs_scheduled_ = true;
+    queue_.schedulePeriodic(cfg_.epochMs, [this]() {
+        disk_.beginEpoch(cfg_.epochMs);
+        std::vector<workload::ClientDriver::EpochResult> results;
+        results.reserve(drivers_.size());
+        for (auto &driver : drivers_)
+            results.push_back(driver->runEpoch(cfg_.epochMs));
+        disk_.endEpoch();
+        epoch_history_.push_back(std::move(results));
+        return true;
+    });
+}
+
+void
+Scenario::run()
+{
+    jtps_assert(built_);
+
+    // Warm-up: paper's aggressive scanning while WAS and the benchmark
+    // initialize.
+    ksm_->setPagesToScan(cfg_.ksmWarmupPagesToScan);
+    ksm_->attach(queue_);
+    scheduleEpochs();
+    queue_.runUntil(queue_.now() + cfg_.warmupMs);
+
+    // Steady state: throttle the scanner as the paper does during
+    // measurements.
+    ksm_->setPagesToScan(cfg_.ksm.pagesToScan);
+    queue_.runUntil(queue_.now() + cfg_.steadyMs);
+}
+
+void
+Scenario::runFor(Tick ms)
+{
+    jtps_assert(built_);
+    scheduleEpochs();
+    queue_.runUntil(queue_.now() + ms);
+}
+
+analysis::Snapshot
+Scenario::snapshot() const
+{
+    std::vector<const guest::GuestOs *> ptrs;
+    ptrs.reserve(guests_.size());
+    for (const auto &g : guests_)
+        ptrs.push_back(g.get());
+    return analysis::captureSnapshot(*hv_, ptrs);
+}
+
+analysis::OwnerAccounting
+Scenario::account() const
+{
+    analysis::Snapshot snap = snapshot();
+    return analysis::OwnerAccounting(snap);
+}
+
+std::vector<std::string>
+Scenario::vmNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(guests_.size());
+    for (const auto &g : guests_)
+        names.push_back(g->name());
+    return names;
+}
+
+std::vector<analysis::JavaProcRow>
+Scenario::javaRows() const
+{
+    std::vector<analysis::JavaProcRow> rows;
+    for (std::size_t i = 0; i < jvms_.size(); ++i) {
+        rows.push_back({"JVM" + std::to_string(i + 1),
+                        static_cast<VmId>(i), jvms_[i]->pid()});
+    }
+    return rows;
+}
+
+double
+Scenario::aggregateThroughput(std::size_t epochs) const
+{
+    if (epoch_history_.empty())
+        return 0.0;
+    const std::size_t n = std::min(epochs, epoch_history_.size());
+    double sum = 0;
+    for (std::size_t e = epoch_history_.size() - n;
+         e < epoch_history_.size(); ++e) {
+        for (const auto &r : epoch_history_[e])
+            sum += r.achievedPerSec;
+    }
+    return sum / static_cast<double>(n);
+}
+
+std::vector<double>
+Scenario::perVmThroughput(std::size_t epochs) const
+{
+    std::vector<double> out(drivers_.size(), 0.0);
+    if (epoch_history_.empty())
+        return out;
+    const std::size_t n = std::min(epochs, epoch_history_.size());
+    for (std::size_t e = epoch_history_.size() - n;
+         e < epoch_history_.size(); ++e) {
+        for (std::size_t v = 0; v < epoch_history_[e].size(); ++v)
+            out[v] += epoch_history_[e][v].achievedPerSec;
+    }
+    for (double &v : out)
+        v /= static_cast<double>(n);
+    return out;
+}
+
+std::vector<double>
+Scenario::perVmResponseMs(std::size_t epochs) const
+{
+    std::vector<double> out(drivers_.size(), 0.0);
+    if (epoch_history_.empty())
+        return out;
+    const std::size_t n = std::min(epochs, epoch_history_.size());
+    for (std::size_t e = epoch_history_.size() - n;
+         e < epoch_history_.size(); ++e) {
+        for (std::size_t v = 0; v < epoch_history_[e].size(); ++v)
+            out[v] += epoch_history_[e][v].avgResponseMs;
+    }
+    for (double &v : out)
+        v /= static_cast<double>(n);
+    return out;
+}
+
+} // namespace jtps::core

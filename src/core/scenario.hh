@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Scenario orchestration: the paper's experimental setup as a public
+ * API.
+ *
+ * A Scenario assembles the full stack — host, KVM hypervisor, KSM
+ * scanner, guest VMs with booted kernels and daemons, one Java
+ * application server per guest, closed-loop client drivers — and runs
+ * the paper's measurement protocol:
+ *
+ *   1. startup: guests boot, WAS starts, startup classes load
+ *      (through a copied shared class cache when class sharing is on);
+ *   2. warm-up: KSM scans aggressively (pages_to_scan = 10,000, ~25%
+ *      CPU) while DayTrader-style load warms the JVMs — the paper's
+ *      "first three minutes";
+ *   3. steady state: KSM throttled to 1,000 pages (~2% CPU) while the
+ *      client drivers run; measurements are taken at the end.
+ *
+ * Class-sharing deployment follows §IV.C: the cache is populated once
+ * per middleware (on the base image) and the same file is copied to
+ * every VM — or, for the ablation, repopulated independently in each VM
+ * (same classes, different layout, no cross-VM sharing).
+ */
+
+#ifndef JTPS_CORE_SCENARIO_HH
+#define JTPS_CORE_SCENARIO_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/accounting.hh"
+#include "analysis/forensics.hh"
+#include "analysis/report.hh"
+#include "base/stats.hh"
+#include "guest/guest_os.hh"
+#include "hv/hypervisor.hh"
+#include "jvm/java_vm.hh"
+#include "jvm/shared_class_cache.hh"
+#include "ksm/ksm_scanner.hh"
+#include "sim/event_queue.hh"
+#include "workload/client_driver.hh"
+#include "workload/workload_spec.hh"
+
+namespace jtps::core
+{
+
+/** Scenario-wide configuration. */
+struct ScenarioConfig
+{
+    hv::HostConfig host;               //!< Table I (6 GB RAM default)
+    guest::KernelConfig kernel;        //!< guest kernel footprint
+    Bytes vmOverheadBytes = 48 * MiB;  //!< QEMU process per VM
+    ksm::KsmConfig ksm;                //!< steady-state tuning
+    std::uint32_t ksmWarmupPagesToScan = 10000; //!< paper's warm-up rate
+
+    Tick warmupMs = 60'000;  //!< aggressive-KSM warm-up phase
+    Tick steadyMs = 120'000; //!< measured steady-state phase
+    Tick epochMs = 2'000;    //!< driver epoch length
+
+    std::uint64_t seed = 42;
+
+    /** Enable the paper's technique (class sharing + copied cache). */
+    bool enableClassSharing = false;
+    /** What the cache stores (middleware-only is the paper's setup). */
+    jvm::CacheScope cacheScope = jvm::CacheScope::MiddlewareOnly;
+    /**
+     * true  — populate once, copy the file to every VM (the paper);
+     * false — populate independently inside each VM (ablation: same
+     *         classes, different layout, no cross-VM page equality).
+     */
+    bool copyCacheToAllVms = true;
+    /**
+     * AOT section budget added to each populated cache (0 disables).
+     * Workloads opt in via WorkloadSpec::useAotCache.
+     */
+    Bytes aotCacheBytes = 0;
+    /** Methods eligible for AOT storage (in hot order). */
+    std::uint32_t aotMethodCount = 1500;
+    /** Average stored AOT body size. */
+    Bytes aotAvgMethodBytes = 18 * KiB;
+
+    double diskIops = 120.0;      //!< host swap-disk fault capacity
+    double diskLatencyMs = 5.0;   //!< unloaded page-in latency
+
+    /** Small non-Java daemons booted in each guest. */
+    bool spawnDaemons = true;
+
+    /**
+     * Guests run with transparent huge pages on anonymous process
+     * memory (defeats KSM on those regions; the THP ablation measures
+     * the interaction with the paper's technique).
+     */
+    bool guestThp = false;
+};
+
+/**
+ * A complete virtualized-host experiment.
+ */
+class Scenario
+{
+  public:
+    /**
+     * @param cfg Scenario configuration.
+     * @param per_vm_workloads One workload per guest VM (all four
+     *        paper workloads can be mixed, as in Fig. 3(b)).
+     */
+    Scenario(const ScenarioConfig &cfg,
+             std::vector<workload::WorkloadSpec> per_vm_workloads);
+    ~Scenario();
+
+    Scenario(const Scenario &) = delete;
+    Scenario &operator=(const Scenario &) = delete;
+
+    /** Create the host, guests, JVMs and drivers; boot everything. */
+    void build();
+
+    /** Run warm-up + steady state (build() must have run). */
+    void run();
+
+    /** Run only @p ms more simulated time (for custom protocols). */
+    void runFor(Tick ms);
+
+    // ------------------------------------------------------------------
+    // Measurement
+    // ------------------------------------------------------------------
+
+    /** Capture the three-layer translation walk. */
+    analysis::Snapshot snapshot() const;
+
+    /** Owner-oriented accounting of a fresh snapshot. */
+    analysis::OwnerAccounting account() const;
+
+    /** Names of all VMs in id order. */
+    std::vector<std::string> vmNames() const;
+
+    /** Rows identifying each guest's Java process (for reports). */
+    std::vector<analysis::JavaProcRow> javaRows() const;
+
+    /**
+     * Aggregate achieved throughput (requests/s summed over VMs),
+     * averaged over the most recent @p epochs epochs.
+     */
+    double aggregateThroughput(std::size_t epochs = 5) const;
+
+    /** Per-VM achieved throughput averaged over recent epochs. */
+    std::vector<double> perVmThroughput(std::size_t epochs = 5) const;
+
+    /** Per-VM average response time over recent epochs. */
+    std::vector<double> perVmResponseMs(std::size_t epochs = 5) const;
+
+    // ------------------------------------------------------------------
+    // Component access
+    // ------------------------------------------------------------------
+
+    hv::KvmHypervisor &hv() { return *hv_; }
+    const hv::KvmHypervisor &hv() const { return *hv_; }
+    ksm::KsmScanner &ksm() { return *ksm_; }
+    guest::GuestOs &guest(std::size_t i) { return *guests_[i]; }
+    jvm::JavaVm &javaVm(std::size_t i) { return *jvms_[i]; }
+    workload::ClientDriver &driver(std::size_t i) { return *drivers_[i]; }
+    std::size_t vmCount() const { return guests_.size(); }
+    StatSet &stats() { return stats_; }
+    sim::EventQueue &queue() { return queue_; }
+    workload::HostDisk &disk() { return disk_; }
+
+  private:
+    void scheduleEpochs();
+
+    ScenarioConfig cfg_;
+    std::vector<workload::WorkloadSpec> specs_;
+
+    StatSet stats_;
+    sim::EventQueue queue_;
+    workload::HostDisk disk_;
+
+    std::unique_ptr<hv::KvmHypervisor> hv_;
+    std::unique_ptr<ksm::KsmScanner> ksm_;
+    std::vector<std::unique_ptr<guest::GuestOs>> guests_;
+    std::vector<std::unique_ptr<jvm::JavaVm>> jvms_;
+    std::vector<std::unique_ptr<workload::ClientDriver>> drivers_;
+
+    /** One class set per distinct program. */
+    std::map<std::string, std::unique_ptr<jvm::ClassSet>> class_sets_;
+    /** Cache per (middleware cache name [, vm]) depending on copy mode. */
+    std::vector<std::unique_ptr<jvm::SharedClassCache>> caches_;
+    std::vector<const jvm::SharedClassCache *> vm_cache_;
+
+    /** Per-epoch per-VM results, appended as epochs run. */
+    std::vector<std::vector<workload::ClientDriver::EpochResult>>
+        epoch_history_;
+    bool built_ = false;
+    bool epochs_scheduled_ = false;
+};
+
+} // namespace jtps::core
+
+#endif // JTPS_CORE_SCENARIO_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Balloon driver model (paper §VI related work).
+ *
+ * "Ballooning is a technique to reduce paging in a hypervisor by
+ * dynamically reducing the amount of memory available to a guest OS.
+ * The guest OS may reduce its memory usage more efficiently than the
+ * hypervisor because it has more information about the usage of its
+ * memory pages. For example, it can reduce memory by shrinking its
+ * disk cache rather than by paging-out pages."
+ *
+ * The model does exactly that: inflating the balloon makes the guest
+ * reclaim clean, unmapped page-cache pages, returning their host
+ * frames. The cost appears later as guest-side cache misses (disk
+ * re-reads) when the dropped files are accessed again — the trade-off
+ * the paper contrasts with TPS, which keeps shared pages readable at
+ * zero cost.
+ *
+ * The paper also notes KVM ships no balloon policy manager
+ * ("we cannot use ballooning unless we install a separate manager"),
+ * so the target size here is set by the experimenter, as it would be
+ * by such a manager.
+ */
+
+#ifndef JTPS_GUEST_BALLOON_HH
+#define JTPS_GUEST_BALLOON_HH
+
+#include "base/units.hh"
+#include "guest/guest_os.hh"
+
+namespace jtps::guest
+{
+
+/**
+ * The balloon device of one guest.
+ */
+class BalloonDriver
+{
+  public:
+    explicit BalloonDriver(GuestOs &os) : os_(os) {}
+
+    /**
+     * Inflate by @p target_bytes: the guest reclaims (clean cache
+     * first, then anonymous pages to its own swap) and the balloon
+     * pins the freed frames so the host can reuse them. The inflation
+     * saturates when the guest has nothing left to reclaim.
+     * @return bytes actually reclaimed by this call.
+     */
+    Bytes
+    inflate(Bytes target_bytes)
+    {
+        const std::uint64_t got =
+            os_.balloonTake(bytesToPages(target_bytes));
+        inflated_pages_ += got;
+        return pagesToBytes(got);
+    }
+
+    /**
+     * Deflate: the frames go back to the guest's free pool; the cache
+     * refills lazily through future file activity.
+     */
+    void
+    deflate()
+    {
+        os_.balloonReturn(inflated_pages_);
+        inflated_pages_ = 0;
+    }
+
+    /** Currently inflated size. */
+    Bytes inflatedBytes() const { return pagesToBytes(inflated_pages_); }
+
+  private:
+    GuestOs &os_;
+    std::uint64_t inflated_pages_ = 0;
+};
+
+} // namespace jtps::guest
+
+#endif // JTPS_GUEST_BALLOON_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * File images: the contents of files on the guests' virtual disks.
+ *
+ * A cloud datacenter provisions guests from a shared base disk image, so
+ * the same file (the kernel, libjvm.so, WAS jars, a copied shared-class
+ * -cache file) has byte-identical content in every VM — the root cause
+ * of all cross-VM page sharing in the paper. A FileImage is that
+ * content: page @p i of file @p tag is `PageData::filled(tag, i)`.
+ *
+ * Files that differ per VM (logs, configuration written at first boot)
+ * use a per-VM salt so their pages never match across guests.
+ */
+
+#ifndef JTPS_GUEST_FILE_IMAGE_HH
+#define JTPS_GUEST_FILE_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/hash.hh"
+#include "base/types.hh"
+#include "base/units.hh"
+#include "mem/page_data.hh"
+
+namespace jtps::guest
+{
+
+/**
+ * One file on a guest's disk. Value type; content is derived, not
+ * stored.
+ */
+class FileImage
+{
+  public:
+    /**
+     * A file from the shared base image: identical in every VM.
+     * @param path Stable path/name; determines content.
+     * @param bytes File size.
+     */
+    static FileImage
+    shared(const std::string &path, Bytes bytes)
+    {
+        return FileImage(path, bytes, stringTag(path));
+    }
+
+    /**
+     * A per-VM file (log, generated config): content differs by
+     * @p vm_salt, so it can never TPS-share across VMs.
+     */
+    static FileImage
+    perVm(const std::string &path, Bytes bytes, std::uint64_t vm_salt)
+    {
+        return FileImage(path, bytes,
+                         hashCombine(stringTag(path), mix64(vm_salt)));
+    }
+
+    /**
+     * A file with explicit content tag — used for the shared class
+     * cache, whose content is the CDS layout digest: two VMs share its
+     * pages exactly when they were given byte-identical cache files.
+     */
+    static FileImage
+    withContentTag(const std::string &path, Bytes bytes, std::uint64_t tag)
+    {
+        return FileImage(path, bytes, tag);
+    }
+
+    /** File name. */
+    const std::string &path() const { return path_; }
+
+    /** File size in bytes. */
+    Bytes bytes() const { return bytes_; }
+
+    /** File size in whole pages. */
+    std::uint64_t pages() const { return bytesToPages(bytes_); }
+
+    /** Content tag (two files share pages iff tags are equal). */
+    std::uint64_t contentTag() const { return tag_; }
+
+    /** Content of page @p index of this file. */
+    mem::PageData
+    pageContent(std::uint64_t index) const
+    {
+        return mem::PageData::filled(tag_, index);
+    }
+
+  private:
+    FileImage(std::string path, Bytes bytes, std::uint64_t tag)
+        : path_(std::move(path)), bytes_(bytes), tag_(tag)
+    {
+    }
+
+    std::string path_;
+    Bytes bytes_;
+    std::uint64_t tag_;
+};
+
+} // namespace jtps::guest
+
+#endif // JTPS_GUEST_FILE_IMAGE_HH

@@ -1,0 +1,73 @@
+#include "guest/mem_category.hh"
+
+namespace jtps::guest
+{
+
+const char *
+categoryName(MemCategory cat)
+{
+    switch (cat) {
+      case MemCategory::Code:
+        return "Code";
+      case MemCategory::ClassMetadata:
+        return "Class metadata";
+      case MemCategory::JitCode:
+        return "JIT-compiled code";
+      case MemCategory::JitWork:
+        return "JIT work area";
+      case MemCategory::JavaHeap:
+        return "Java heap";
+      case MemCategory::JvmWork:
+        return "JVM work area";
+      case MemCategory::Stack:
+        return "Stack";
+      case MemCategory::KernelText:
+        return "Kernel text";
+      case MemCategory::KernelData:
+        return "Kernel data";
+      case MemCategory::Slab:
+        return "Slab";
+      case MemCategory::PageCache:
+        return "Page cache";
+      case MemCategory::OtherProcess:
+        return "Other process";
+      case MemCategory::VmOverhead:
+        return "VM overhead";
+      case MemCategory::NumCategories:
+        break;
+    }
+    return "?";
+}
+
+bool
+isJavaCategory(MemCategory cat)
+{
+    switch (cat) {
+      case MemCategory::Code:
+      case MemCategory::ClassMetadata:
+      case MemCategory::JitCode:
+      case MemCategory::JitWork:
+      case MemCategory::JavaHeap:
+      case MemCategory::JvmWork:
+      case MemCategory::Stack:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isKernelCategory(MemCategory cat)
+{
+    switch (cat) {
+      case MemCategory::KernelText:
+      case MemCategory::KernelData:
+      case MemCategory::Slab:
+      case MemCategory::PageCache:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace jtps::guest

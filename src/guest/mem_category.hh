@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Memory categories used for attribution.
+ *
+ * The first seven are the Java memory categories of the paper's
+ * Table IV; the rest cover the guest kernel, other user processes, and
+ * the VM process itself (the four top-level components of Fig. 2).
+ */
+
+#ifndef JTPS_GUEST_MEM_CATEGORY_HH
+#define JTPS_GUEST_MEM_CATEGORY_HH
+
+#include <cstdint>
+
+namespace jtps::guest
+{
+
+/** What a mapped region holds; every Vma carries one. */
+enum class MemCategory : std::uint8_t
+{
+    // --- Java process categories (paper Table IV) ---
+    Code,          //!< executable files, shared libraries, their data
+    ClassMetadata, //!< Java classes (ROM + RAM class data)
+    JitCode,       //!< JIT-generated native code and its runtime data
+    JitWork,       //!< JIT compiler scratch memory
+    JavaHeap,      //!< the Java object heap
+    JvmWork,       //!< JVM work areas, class-library allocations, malloc
+    Stack,         //!< C and Java thread stacks
+
+    // --- guest kernel ---
+    KernelText,    //!< kernel code and read-only data
+    KernelData,    //!< kernel static data
+    Slab,          //!< kernel dynamic allocations (dentries, inodes...)
+    PageCache,     //!< file page cache / buffer cache
+
+    // --- everything else ---
+    OtherProcess,  //!< non-Java guest user processes
+    VmOverhead,    //!< the VM process itself (KVM/QEMU private memory)
+
+    NumCategories
+};
+
+/** Number of categories, as an array size. */
+constexpr std::size_t numMemCategories =
+    static_cast<std::size_t>(MemCategory::NumCategories);
+
+/** Printable name of a category. */
+const char *categoryName(MemCategory cat);
+
+/** True for the seven per-Java-process categories of Table IV. */
+bool isJavaCategory(MemCategory cat);
+
+/** True for categories accounted to the guest kernel in Fig. 2. */
+bool isKernelCategory(MemCategory cat);
+
+} // namespace jtps::guest
+
+#endif // JTPS_GUEST_MEM_CATEGORY_HH

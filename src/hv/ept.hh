@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Extended page table (EPT) model: the hypervisor-level translation from
+ * guest physical frames (gfn) to host physical frames (hfn).
+ *
+ * This is the second translation layer of the paper's Fig. 1(b): the
+ * guest OS translates process virtual pages to gfns (src/guest), and the
+ * EPT translates gfns to hfns. TPS operates entirely at this layer: KSM
+ * repoints EPT entries of different VMs at one host frame and
+ * write-protects them.
+ */
+
+#ifndef JTPS_HV_EPT_HH
+#define JTPS_HV_EPT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/types.hh"
+
+namespace jtps::hv
+{
+
+/** Residency state of one guest physical frame. */
+enum class PageState : std::uint8_t
+{
+    NotPresent, //!< never touched; reads see zeroes, writes allocate
+    Resident,   //!< backed by a host frame
+    Swapped,    //!< evicted by the host; access triggers a major fault
+};
+
+/**
+ * One EPT entry. `backing` holds the hfn when Resident and the swap slot
+ * when Swapped.
+ */
+struct EptEntry
+{
+    std::uint64_t backing = 0;
+    std::uint32_t ksmChecksum = 0; //!< KSM's last-seen page checksum
+    PageState state = PageState::NotPresent;
+    bool writeProtected = false;   //!< COW-break on next write
+    bool ksmChecksumValid = false; //!< checksum field has been set
+};
+
+/**
+ * A VM's EPT: a dense array of entries, one per guest physical frame.
+ */
+class Ept
+{
+  public:
+    explicit Ept(std::uint64_t guest_frames) : entries_(guest_frames) {}
+
+    /** Entry for @p gfn (bounds-checked). */
+    EptEntry &
+    entry(Gfn gfn)
+    {
+        jtps_assert(gfn < entries_.size());
+        return entries_[gfn];
+    }
+
+    /** Read-only entry for @p gfn. */
+    const EptEntry &
+    entry(Gfn gfn) const
+    {
+        jtps_assert(gfn < entries_.size());
+        return entries_[gfn];
+    }
+
+    /** Number of guest physical frames. */
+    std::uint64_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<EptEntry> entries_;
+};
+
+} // namespace jtps::hv
+
+#endif // JTPS_HV_EPT_HH

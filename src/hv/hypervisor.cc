@@ -1,0 +1,466 @@
+#include "hv/hypervisor.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace jtps::hv
+{
+
+Hypervisor::Hypervisor(const HostConfig &cfg, StatSet &stats)
+    : cfg_(cfg), stats_(stats),
+      frames_(
+          [&cfg]() {
+              // The compressed swap pool carves its frames out of host
+              // RAM: the tier trades usable memory for cheap refaults.
+              Bytes usable = cfg.ramBytes;
+              usable -= std::min(usable, cfg.reserveBytes);
+              usable -= std::min(usable, cfg.compressedSwapPoolBytes);
+              return bytesToPages(usable);
+          }(),
+          &stats),
+      swap_(&stats),
+      ram_slot_capacity_(bytesToPages(cfg.compressedSwapPoolBytes) *
+                         swapCompressionRatio)
+{
+}
+
+VmId
+Hypervisor::createVm(const std::string &name, Bytes guest_mem,
+                     Bytes overhead)
+{
+    VmId id = static_cast<VmId>(vms_.size());
+    vms_.push_back(
+        std::make_unique<Vm>(id, name, bytesToPages(guest_mem)));
+    Vm &v = *vms_.back();
+
+    // The VM process's own memory (QEMU heap, device emulation state):
+    // private, per-VM content, pinned so the host never swaps the VMM
+    // itself. Attributed to "the guest VM itself" by the analysis layer.
+    const std::uint64_t overhead_pages = bytesToPages(overhead);
+    const std::uint64_t tag = stringTag("vm-process-overhead");
+    for (std::uint64_t i = 0; i < overhead_pages; ++i) {
+        mem::PageData data = mem::PageData::filled(tag, hash3(id, i, 1));
+        Hfn hfn = frames_.allocPinned(data);
+        while (hfn == invalidFrame) {
+            if (!evictOne())
+                fatal("host out of memory creating VM '%s'", name.c_str());
+            hfn = frames_.allocPinned(data);
+        }
+        v.overheadFrames.push_back(hfn);
+    }
+    stats_.inc("hv.vms_created");
+    return id;
+}
+
+Vm &
+Hypervisor::vm(VmId id)
+{
+    jtps_assert(id < vms_.size());
+    return *vms_[id];
+}
+
+const Vm &
+Hypervisor::vm(VmId id) const
+{
+    jtps_assert(id < vms_.size());
+    return *vms_[id];
+}
+
+Hfn
+Hypervisor::allocBacked(const mem::Mapping &m, const mem::PageData &data)
+{
+    for (;;) {
+        Hfn hfn = frames_.alloc(m, data);
+        if (hfn != invalidFrame)
+            return hfn;
+        if (!evictOne())
+            fatal("host out of memory: %llu frames resident, "
+                  "nothing evictable",
+                  static_cast<unsigned long long>(frames_.resident()));
+    }
+}
+
+bool
+Hypervisor::evictOne()
+{
+    Hfn victim = frames_.pickVictim(/*allow_shared=*/false);
+    if (victim == invalidFrame)
+        victim = frames_.pickVictim(/*allow_shared=*/true);
+    if (victim == invalidFrame)
+        return false;
+
+    mem::Frame &f = frames_.frame(victim);
+    jtps_assert(!f.pinned);
+    std::vector<mem::Mapping> mappings = f.mappings();
+    jtps_assert(!mappings.empty());
+    const mem::PageData data = f.data;
+
+    // Prefer the compressed-RAM tier while it has room.
+    const mem::SwapTier tier =
+        swap_.ramSlots() < ram_slot_capacity_
+            ? mem::SwapTier::CompressedRam
+            : mem::SwapTier::Disk;
+    mem::SwapSlot slot = swap_.store(data, mappings, tier);
+    for (const auto &m : mappings) {
+        Vm &v = vm(m.vm);
+        EptEntry &e = v.ept.entry(m.gfn);
+        jtps_assert(e.state == PageState::Resident &&
+                    e.backing == victim);
+        e.state = PageState::Swapped;
+        e.backing = slot;
+        e.writeProtected = false;
+        jtps_assert(v.residentPages > 0);
+        --v.residentPages;
+        ++v.swappedPages;
+        frames_.removeMapping(victim, m);
+    }
+    stats_.inc("host.evictions");
+    return true;
+}
+
+void
+Hypervisor::swapIn(VmId vm_id, Gfn gfn)
+{
+    Vm &faulting = vm(vm_id);
+    EptEntry &fe = faulting.ept.entry(gfn);
+    jtps_assert(fe.state == PageState::Swapped);
+
+    mem::SwapDevice::Slot slot = swap_.take(fe.backing);
+    jtps_assert(!slot.mappings.empty());
+    const bool from_ram = slot.tier == mem::SwapTier::CompressedRam;
+
+    // Restore the frame and *all* of its former mappings, preserving the
+    // sharing structure the page had when it was evicted.
+    Hfn hfn = allocBacked(slot.mappings.front(), slot.data);
+    for (std::size_t i = 1; i < slot.mappings.size(); ++i)
+        frames_.addMapping(hfn, slot.mappings[i]);
+
+    const bool shared = slot.mappings.size() > 1;
+    for (const auto &m : slot.mappings) {
+        Vm &v = vm(m.vm);
+        EptEntry &e = v.ept.entry(m.gfn);
+        jtps_assert(e.state == PageState::Swapped);
+        e.state = PageState::Resident;
+        e.backing = hfn;
+        e.writeProtected = shared;
+        jtps_assert(v.swappedPages > 0);
+        --v.swappedPages;
+        ++v.residentPages;
+    }
+
+    ++faulting.majorFaults;
+    stats_.inc("host.major_faults");
+    if (from_ram) {
+        ++faulting.majorFaultsRam;
+        stats_.inc("host.major_faults_ram");
+    }
+}
+
+void
+Hypervisor::cowBreak(VmId vm_id, Gfn gfn)
+{
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+    jtps_assert(e.state == PageState::Resident);
+
+    Hfn old = e.backing;
+    mem::Frame &f = frames_.frame(old);
+
+    if (f.refcount == 1 && !f.ksmStable) {
+        // Sole mapping of an ordinary frame: nothing to copy, just drop
+        // the protection.
+        e.writeProtected = false;
+        return;
+    }
+
+    const mem::Mapping m{vm_id, gfn};
+    const mem::PageData copy = f.data; // copy before the frame can die
+    frames_.removeMapping(old, m);
+    Hfn fresh = allocBacked(m, copy);
+    e.backing = fresh;
+    e.writeProtected = false;
+    stats_.inc("hv.cow_breaks");
+}
+
+mem::PageData &
+Hypervisor::pageForWrite(VmId vm_id, Gfn gfn)
+{
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+
+    switch (e.state) {
+      case PageState::NotPresent: {
+          Hfn hfn = allocBacked(mem::Mapping{vm_id, gfn},
+                                mem::PageData::zero());
+          e.state = PageState::Resident;
+          e.backing = hfn;
+          e.writeProtected = false;
+          ++v.residentPages;
+          stats_.inc("hv.demand_allocs");
+          break;
+      }
+      case PageState::Swapped:
+        swapIn(vm_id, gfn);
+        break;
+      case PageState::Resident:
+        break;
+    }
+
+    if (e.writeProtected || frames_.frame(e.backing).refcount > 1 ||
+        frames_.frame(e.backing).ksmStable) {
+        cowBreak(vm_id, gfn);
+    }
+
+    frames_.touch(e.backing);
+    return frames_.frame(e.backing).data;
+}
+
+void
+Hypervisor::writeWord(VmId vm_id, Gfn gfn, unsigned sector,
+                      std::uint64_t value)
+{
+    jtps_assert(sector < mem::sectorsPerPage);
+    pageForWrite(vm_id, gfn).word[sector] = value;
+}
+
+void
+Hypervisor::writePage(VmId vm_id, Gfn gfn, const mem::PageData &data)
+{
+    pageForWrite(vm_id, gfn) = data;
+}
+
+std::uint64_t
+Hypervisor::readWord(VmId vm_id, Gfn gfn, unsigned sector)
+{
+    jtps_assert(sector < mem::sectorsPerPage);
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+
+    switch (e.state) {
+      case PageState::NotPresent:
+        // Reads of untouched anonymous memory see the zero page; no
+        // frame is allocated (Linux maps the shared zero page).
+        return 0;
+      case PageState::Swapped:
+        swapIn(vm_id, gfn);
+        break;
+      case PageState::Resident:
+        break;
+    }
+    frames_.touch(e.backing);
+    return frames_.frame(e.backing).data.word[sector];
+}
+
+void
+Hypervisor::touchPage(VmId vm_id, Gfn gfn)
+{
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+    switch (e.state) {
+      case PageState::NotPresent:
+        return;
+      case PageState::Swapped:
+        swapIn(vm_id, gfn);
+        break;
+      case PageState::Resident:
+        break;
+    }
+    frames_.touch(e.backing);
+}
+
+void
+Hypervisor::discardPage(VmId vm_id, Gfn gfn)
+{
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+    const mem::Mapping m{vm_id, gfn};
+
+    switch (e.state) {
+      case PageState::NotPresent:
+        return;
+      case PageState::Swapped:
+        swap_.dropMapping(e.backing, m);
+        jtps_assert(v.swappedPages > 0);
+        --v.swappedPages;
+        break;
+      case PageState::Resident:
+        frames_.removeMapping(e.backing, m);
+        jtps_assert(v.residentPages > 0);
+        --v.residentPages;
+        break;
+    }
+    e = EptEntry{};
+}
+
+Hfn
+Hypervisor::translate(VmId vm_id, Gfn gfn) const
+{
+    const EptEntry &e = vm(vm_id).ept.entry(gfn);
+    return e.state == PageState::Resident ? e.backing : invalidFrame;
+}
+
+const mem::PageData *
+Hypervisor::peek(VmId vm_id, Gfn gfn) const
+{
+    const EptEntry &e = vm(vm_id).ept.entry(gfn);
+    if (e.state != PageState::Resident)
+        return nullptr;
+    return &frames_.frame(e.backing).data;
+}
+
+void
+Hypervisor::setHugePage(VmId vm_id, Gfn gfn, bool huge)
+{
+    Vm &v = vm(vm_id);
+    jtps_assert(gfn < v.ept.size());
+    if (v.hugePages.empty()) {
+        if (!huge)
+            return; // nothing was ever marked
+        v.hugePages.assign(v.ept.size(), false);
+    }
+    v.hugePages[gfn] = huge;
+}
+
+bool
+Hypervisor::isHugePage(VmId vm_id, Gfn gfn) const
+{
+    const Vm &v = vm(vm_id);
+    if (v.hugePages.empty())
+        return false;
+    jtps_assert(gfn < v.ept.size());
+    return v.hugePages[gfn];
+}
+
+bool
+Hypervisor::ksmMergeInto(Hfn stable, VmId vm_id, Gfn gfn)
+{
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+    if (e.state != PageState::Resident)
+        return false;
+    if (e.backing == stable)
+        return false;
+    if (!frames_.isAllocated(stable))
+        return false;
+
+    mem::Frame &sf = frames_.frame(stable);
+    mem::Frame &of = frames_.frame(e.backing);
+    if (!(sf.data == of.data))
+        return false;
+    jtps_assert(sf.ksmStable && !sf.pinned);
+
+    const mem::Mapping m{vm_id, gfn};
+    frames_.removeMapping(e.backing, m);
+    frames_.addMapping(stable, m);
+    frames_.touch(stable);
+    e.backing = stable;
+    e.writeProtected = true;
+    stats_.inc("hv.ksm_merges");
+    return true;
+}
+
+Hfn
+Hypervisor::ksmMakeStable(VmId vm_id, Gfn gfn)
+{
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+    if (e.state != PageState::Resident)
+        return invalidFrame;
+
+    mem::Frame &f = frames_.frame(e.backing);
+    jtps_assert(!f.pinned);
+    f.ksmStable = true;
+    // Write-protect every mapping of the frame so any write COWs.
+    f.forEachMapping([this](const mem::Mapping &m) {
+        vm(m.vm).ept.entry(m.gfn).writeProtected = true;
+    });
+    return e.backing;
+}
+
+std::uint64_t
+Hypervisor::collapseIdenticalPages()
+{
+    // digest -> first page seen with that content. Full content equality
+    // is re-verified inside ksmMergeInto, so a digest collision can only
+    // cause a missed merge, never a wrong one.
+    std::unordered_map<std::uint64_t, std::pair<VmId, Gfn>> canon;
+    std::uint64_t merged = 0;
+
+    for (auto &vmp : vms_) {
+        Vm &v = *vmp;
+        for (Gfn gfn = 0; gfn < v.ept.size(); ++gfn) {
+            const EptEntry &e = v.ept.entry(gfn);
+            if (e.state != PageState::Resident)
+                continue;
+            const std::uint64_t digest =
+                frames_.frame(e.backing).data.digest();
+            auto [it, inserted] =
+                canon.emplace(digest, std::make_pair(v.id, gfn));
+            if (inserted)
+                continue;
+            Hfn stable = ksmMakeStable(it->second.first, it->second.second);
+            if (stable == invalidFrame)
+                continue;
+            if (ksmMergeInto(stable, v.id, gfn))
+                ++merged;
+        }
+    }
+    stats_.inc("hv.tps_collapse_merged", merged);
+    return merged;
+}
+
+Bytes
+Hypervisor::residentBytes() const
+{
+    return pagesToBytes(frames_.resident());
+}
+
+std::uint64_t
+Hypervisor::majorFaults(VmId vm_id) const
+{
+    return vm(vm_id).majorFaults;
+}
+
+std::uint64_t
+Hypervisor::majorFaultsRam(VmId vm_id) const
+{
+    return vm(vm_id).majorFaultsRam;
+}
+
+void
+Hypervisor::checkConsistency() const
+{
+    frames_.checkConsistency();
+
+    // Every resident EPT entry must appear exactly once in its frame's
+    // reverse mappings, and per-VM counters must match entry states.
+    for (const auto &vmp : vms_) {
+        const Vm &v = *vmp;
+        std::uint64_t resident = 0, swapped = 0;
+        for (Gfn gfn = 0; gfn < v.ept.size(); ++gfn) {
+            const EptEntry &e = v.ept.entry(gfn);
+            if (e.state == PageState::Resident) {
+                ++resident;
+                jtps_assert(frames_.isAllocated(e.backing));
+                const mem::Frame &f = frames_.frame(e.backing);
+                unsigned hits = 0;
+                f.forEachMapping([&](const mem::Mapping &m) {
+                    if (m.vm == v.id && m.gfn == gfn)
+                        ++hits;
+                });
+                jtps_assert(hits == 1);
+            } else if (e.state == PageState::Swapped) {
+                ++swapped;
+                jtps_assert(swap_.has(e.backing));
+            }
+        }
+        jtps_assert(resident == v.residentPages);
+        jtps_assert(swapped == v.swappedPages);
+    }
+}
+
+} // namespace jtps::hv

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * The hypervisor: guest VMs, the gfn→hfn translation, copy-on-write,
+ * host-level paging, and the primitives Transparent Page Sharing needs.
+ *
+ * Two concrete hypervisors derive from the common machinery, mirroring
+ * the paper's Fig. 1:
+ *
+ *  - KvmHypervisor: a process-VM hypervisor. Each guest VM is a host
+ *    process; its guest memory is anonymous memory the VM process
+ *    madvise()s as MERGEABLE, and the VM process has private overhead
+ *    memory of its own ("the pages allocated to the guest VM process but
+ *    not used for guest memory", attributed to the VM itself in Fig. 2).
+ *    Sharing is found asynchronously by the KSM scanner (src/ksm).
+ *
+ *  - PowerVmHypervisor: a system-VM hypervisor. There is no VM process
+ *    layer; TPS is performed by the platform firmware, modelled as a
+ *    run-to-completion whole-memory merge pass (the paper measures
+ *    "after finishing page sharing").
+ */
+
+#ifndef JTPS_HV_HYPERVISOR_HH
+#define JTPS_HV_HYPERVISOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "hv/ept.hh"
+#include "mem/frame_table.hh"
+#include "mem/page_data.hh"
+#include "mem/swap_device.hh"
+
+namespace jtps::hv
+{
+
+/** Static configuration of the host machine (paper Table I). */
+struct HostConfig
+{
+    std::string name = "host";
+    Bytes ramBytes = 6ULL * 1024 * 1024 * 1024;
+    /**
+     * Frames the host keeps free for its own operation; guest allocations
+     * beyond (ram - reserve) trigger host paging.
+     */
+    Bytes reserveBytes = 64ULL * 1024 * 1024;
+    /**
+     * Compressed-RAM swap pool (Difference Engine / zram style, paper
+     * §VI): this much host RAM is set aside to hold evicted pages
+     * compressed (modelled 3:1), so refaults from it cost a
+     * decompression instead of a disk read. 0 disables the tier.
+     */
+    Bytes compressedSwapPoolBytes = 0;
+};
+
+/** One guest VM. */
+struct Vm
+{
+    VmId id = invalidVm;
+    std::string name;
+    Ept ept;
+    /** Pinned host frames of the VM process itself (KVM only). */
+    std::vector<Hfn> overheadFrames;
+    /** Guest pages currently resident (backed by a host frame). */
+    std::uint64_t residentPages = 0;
+    /** Guest pages currently swapped out by the host. */
+    std::uint64_t swappedPages = 0;
+    /** Cumulative host-level major faults taken by this VM. */
+    std::uint64_t majorFaults = 0;
+    /** Faults served from the compressed-RAM tier (fast refaults). */
+    std::uint64_t majorFaultsRam = 0;
+    /** Whether guest memory is registered mergeable (madvise). */
+    bool mergeable = true;
+    /** Per-gfn transparent-huge-page backing (lazily sized). */
+    std::vector<bool> hugePages;
+
+    Vm(VmId id, std::string name, std::uint64_t guest_frames)
+        : id(id), name(std::move(name)), ept(guest_frames)
+    {
+    }
+};
+
+/**
+ * Common hypervisor machinery: translation, faults, COW, swap, and the
+ * TPS merge primitives. All guest memory accesses in the whole simulator
+ * funnel through writeWord()/writePage()/readWord()/touchPage(), which is
+ * what makes the sharing model sound: no content can change without the
+ * COW checks running.
+ */
+class Hypervisor
+{
+  public:
+    Hypervisor(const HostConfig &cfg, StatSet &stats);
+    virtual ~Hypervisor() = default;
+
+    Hypervisor(const Hypervisor &) = delete;
+    Hypervisor &operator=(const Hypervisor &) = delete;
+
+    /**
+     * Create a guest VM with @p guest_mem bytes of guest physical memory
+     * and @p overhead bytes of VM-process-private memory (0 for
+     * system-VM hypervisors).
+     */
+    VmId createVm(const std::string &name, Bytes guest_mem, Bytes overhead);
+
+    /** Number of VMs. */
+    std::size_t vmCount() const { return vms_.size(); }
+
+    /** Access a VM by id. */
+    Vm &vm(VmId id);
+    const Vm &vm(VmId id) const;
+
+    /** The host frame table (analysis and tests read it). */
+    mem::FrameTable &frames() { return frames_; }
+    const mem::FrameTable &frames() const { return frames_; }
+
+    /** The host swap device. */
+    const mem::SwapDevice &swap() const { return swap_; }
+
+    // ------------------------------------------------------------------
+    // Guest memory access (called by the guest OS / JVM models)
+    // ------------------------------------------------------------------
+
+    /** Write one sector word; runs the full fault + COW path. */
+    void writeWord(VmId vm, Gfn gfn, unsigned sector, std::uint64_t value);
+
+    /** Write a whole page of content. */
+    void writePage(VmId vm, Gfn gfn, const mem::PageData &data);
+
+    /** Read one sector word (0 if the page was never touched). */
+    std::uint64_t readWord(VmId vm, Gfn gfn, unsigned sector);
+
+    /**
+     * Touch a page read-only (working-set access by the workload):
+     * swaps it in if the host paged it out, marks it recently used.
+     */
+    void touchPage(VmId vm, Gfn gfn);
+
+    /**
+     * Discard a page (guest frees the memory, e.g. munmap): the backing
+     * frame reference is dropped and the entry returns to NotPresent.
+     */
+    void discardPage(VmId vm, Gfn gfn);
+
+    /** Current gfn→hfn translation; invalidFrame unless Resident. */
+    Hfn translate(VmId vm, Gfn gfn) const;
+
+    /** Page content if resident, nullptr otherwise (never faults). */
+    const mem::PageData *peek(VmId vm, Gfn gfn) const;
+
+    /** Mark/unmark a guest page as THP-backed (unmergeable by KSM). */
+    void setHugePage(VmId vm, Gfn gfn, bool huge);
+
+    /** True if the guest page is THP-backed. */
+    bool isHugePage(VmId vm, Gfn gfn) const;
+
+    // ------------------------------------------------------------------
+    // TPS primitives (called by the KSM scanner / firmware TPS)
+    // ------------------------------------------------------------------
+
+    /**
+     * Merge the page under (vm, gfn) into the existing stable frame
+     * @p stable. Fails (returns false) if the page is not resident, the
+     * contents differ, or it is already that frame.
+     */
+    bool ksmMergeInto(Hfn stable, VmId vm, Gfn gfn);
+
+    /**
+     * Promote the resident page under (vm, gfn) to a KSM stable frame:
+     * write-protects it and marks the frame stable.
+     * @return the frame number, or invalidFrame if not resident.
+     */
+    Hfn ksmMakeStable(VmId vm, Gfn gfn);
+
+    /**
+     * Run one whole-memory TPS pass immediately: merge every pair of
+     * identical resident, unpinned pages. Used by the system-VM
+     * hypervisor and by tests; KVM instead runs the incremental scanner.
+     * @return number of pages merged away (frames freed).
+     */
+    std::uint64_t collapseIdenticalPages();
+
+    // ------------------------------------------------------------------
+    // Accounting
+    // ------------------------------------------------------------------
+
+    /** Total resident host frames (guest + overhead). */
+    std::uint64_t residentFrames() const { return frames_.resident(); }
+
+    /** Resident bytes on the host. */
+    Bytes residentBytes() const;
+
+    /** Major faults taken by @p vm since creation. */
+    std::uint64_t majorFaults(VmId vm) const;
+
+    /** Major faults of @p vm served from compressed RAM. */
+    std::uint64_t majorFaultsRam(VmId vm) const;
+
+    /** Compression ratio assumed for the compressed-RAM tier. */
+    static constexpr unsigned swapCompressionRatio = 3;
+
+    /** Verify all cross-structure invariants; panics on violation. */
+    void checkConsistency() const;
+
+    /** The stat sink. */
+    StatSet &stats() { return stats_; }
+
+  protected:
+    /**
+     * Allocate a host frame, evicting if the host is out of memory.
+     * Panics only if even eviction cannot find memory.
+     */
+    Hfn allocBacked(const mem::Mapping &m, const mem::PageData &data);
+
+    /** Evict one victim frame to swap. @return false if none evictable */
+    bool evictOne();
+
+    /** Handle a major fault: swap the page back in. */
+    void swapIn(VmId vm, Gfn gfn);
+
+    /** Break copy-on-write for (vm, gfn); afterwards the page is
+     *  privately writable. */
+    void cowBreak(VmId vm, Gfn gfn);
+
+    /** Make (vm, gfn) resident and writable, running faults as needed. */
+    mem::PageData &pageForWrite(VmId vm, Gfn gfn);
+
+    HostConfig cfg_;
+    StatSet &stats_;
+    mem::FrameTable frames_;
+    mem::SwapDevice swap_;
+    std::vector<std::unique_ptr<Vm>> vms_;
+    /** Compressed-tier slot capacity (pool pages x compression). */
+    std::uint64_t ram_slot_capacity_ = 0;
+};
+
+/**
+ * Process-VM hypervisor (KVM): VMs carry process overhead memory and
+ * their guest memory is registered mergeable for the KSM scanner.
+ */
+class KvmHypervisor : public Hypervisor
+{
+  public:
+    KvmHypervisor(const HostConfig &cfg, StatSet &stats)
+        : Hypervisor(cfg, stats)
+    {
+    }
+};
+
+/**
+ * System-VM hypervisor (PowerVM): no VM process layer; TPS is the
+ * firmware's run-to-completion merge.
+ */
+class PowerVmHypervisor : public Hypervisor
+{
+  public:
+    PowerVmHypervisor(const HostConfig &cfg, StatSet &stats)
+        : Hypervisor(cfg, stats)
+    {
+    }
+
+    /** Create a VM without process overhead. */
+    VmId
+    createVm(const std::string &name, Bytes guest_mem)
+    {
+        return Hypervisor::createVm(name, guest_mem, 0);
+    }
+
+    /** Run the firmware TPS to completion. @return pages merged away. */
+    std::uint64_t
+    runTps()
+    {
+        return collapseIdenticalPages();
+    }
+};
+
+} // namespace jtps::hv
+
+#endif // JTPS_HV_HYPERVISOR_HH

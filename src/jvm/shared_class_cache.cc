@@ -1,0 +1,112 @@
+#include "jvm/shared_class_cache.hh"
+
+#include <algorithm>
+
+#include "base/hash.hh"
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace jtps::jvm
+{
+
+SharedClassCache
+SharedClassCache::build(const ClassSet &classes,
+                        const std::string &cache_name, Bytes max_bytes,
+                        CacheScope scope, std::uint64_t population_salt)
+{
+    SharedClassCache cache;
+    cache.name_ = cache_name;
+    cache.max_bytes_ = max_bytes;
+    cache.offset_sector_.assign(classes.size(), UINT64_MAX);
+    cache.end_sector_.assign(classes.size(), UINT64_MAX);
+
+    // Cache header (metadata, string-intern table anchor...).
+    std::uint64_t cursor = 2; // sectors
+    std::uint64_t layout_digest =
+        hash3(stringTag("scc-layout"), stringTag(cache_name),
+              population_salt);
+
+    const Bytes max_sectors = max_bytes / cacheSectorBytes;
+    for (std::uint32_t id : classes.canonicalOrder()) {
+        const ClassInfo &ci = classes.at(id);
+        if (!ci.cacheable)
+            continue;
+        if (scope == CacheScope::MiddlewareOnly &&
+            ci.origin == ClassOrigin::Application) {
+            continue;
+        }
+        const std::uint64_t sectors =
+            (ci.romBytes + cacheSectorBytes - 1) / cacheSectorBytes;
+        if (cursor + sectors > max_sectors)
+            continue; // cache full; class stays private
+        cache.offset_sector_[id] = cursor;
+        cache.end_sector_[id] = cursor + sectors;
+        cursor += sectors;
+        cache.used_bytes_ += ci.romBytes;
+        ++cache.stored_classes_;
+        cache.origin_bytes_[static_cast<int>(ci.origin)] += ci.romBytes;
+        layout_digest = hash3(layout_digest, id, cursor);
+    }
+
+    // The file's content tag is the layout digest: byte-identical copies
+    // (same population) share it; independent populations differ.
+    const Bytes file_bytes = pageAlignUp(cursor * cacheSectorBytes);
+    cache.file_ = guest::FileImage::withContentTag(
+        "javasharedresources/" + cache_name, file_bytes, layout_digest);
+    return cache;
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+SharedClassCache::sectorRange(std::uint32_t class_id) const
+{
+    jtps_assert(contains(class_id));
+    return {offset_sector_[class_id], end_sector_[class_id]};
+}
+
+void
+SharedClassCache::addAotSection(std::uint32_t method_count,
+                                Bytes avg_method_bytes, Bytes budget)
+{
+    jtps_assert(aot_methods_ == 0);
+
+    // Body sizes derive from the cache identity so every copy of the
+    // archive lays the section out identically.
+    Rng rng(hashCombine(stringTag("scc-aot"), file_.contentTag()));
+    std::uint64_t cursor = 1; // AOT section header
+    std::uint64_t digest =
+        hashCombine(stringTag("scc-aot-layout"), file_.contentTag());
+    const std::uint64_t budget_sectors = budget / cacheSectorBytes;
+
+    for (std::uint32_t m = 0; m < method_count; ++m) {
+        const Bytes body = static_cast<Bytes>(
+            avg_method_bytes * (0.5 + rng.nextDouble()));
+        const std::uint64_t sectors = std::max<std::uint64_t>(
+            1, (body + cacheSectorBytes - 1) / cacheSectorBytes);
+        if (cursor + sectors > budget_sectors)
+            break;
+        aot_offset_sector_.push_back(cursor);
+        aot_end_sector_.push_back(cursor + sectors);
+        cursor += sectors;
+        digest = hash3(digest, m, cursor);
+        ++aot_methods_;
+    }
+
+    aot_file_ = guest::FileImage::withContentTag(
+        "javasharedresources/" + name_ + ".aot",
+        pageAlignUp(cursor * cacheSectorBytes), digest);
+}
+
+std::pair<std::uint64_t, std::uint64_t>
+SharedClassCache::aotSectorRange(std::uint32_t method_id) const
+{
+    jtps_assert(containsAotMethod(method_id));
+    return {aot_offset_sector_[method_id], aot_end_sector_[method_id]};
+}
+
+Bytes
+SharedClassCache::storedBytesByOrigin(ClassOrigin origin) const
+{
+    return origin_bytes_[static_cast<int>(origin)];
+}
+
+} // namespace jtps::jvm

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * The shared class cache — the JVM class-sharing feature the paper's
+ * technique is built on (J9 `-Xshareclasses ... persistent`, HotSpot
+ * Class Data Sharing).
+ *
+ * The cache is a memory-mapped file holding the ROM (read-only) part of
+ * each stored class at a fixed offset. The paper's technique is to
+ * populate this file once on the base disk image and *copy it to every
+ * guest VM*, so the class-area layout — and therefore the page content —
+ * is byte-identical across VMs and TPS can merge it.
+ *
+ * The model captures exactly what matters for that:
+ *  - a deterministic layout: classes in canonical first-load order,
+ *    each occupying a contiguous run of 512-byte sectors;
+ *  - a *content tag* derived from the layout, so two VMs share cache
+ *    pages iff they were handed byte-identical cache files (copying the
+ *    file shares; repopulating locally does not — the ablation bench
+ *    measures this difference);
+ *  - the capacity limit of Table III (e.g. 120 MB for WAS) — classes
+ *    past the limit fall back to private memory;
+ *  - non-cacheable (EJB-class-loader) classes are never stored.
+ */
+
+#ifndef JTPS_JVM_SHARED_CLASS_CACHE_HH
+#define JTPS_JVM_SHARED_CLASS_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "base/units.hh"
+#include "guest/file_image.hh"
+#include "jvm/class_model.hh"
+
+namespace jtps::jvm
+{
+
+/** Bytes per cache sector (allocation granularity inside the cache). */
+constexpr Bytes cacheSectorBytes = 512;
+
+/** Which classes a cache population stores. */
+enum class CacheScope : std::uint8_t
+{
+    /**
+     * The paper's base-image deployment (§IV.C): the cache is
+     * pre-populated with middleware and system classes only, by running
+     * the middleware once on the base image. Application classes stay
+     * private — "this base-image-oriented approach can prevent sharing
+     * the classes of user applications ... but it is sufficient".
+     * Programs on the same middleware get byte-identical caches.
+     */
+    MiddlewareOnly,
+    /** Store every cacheable class, including the application's. */
+    AllCacheable,
+};
+
+/**
+ * A populated, persistent shared class cache file.
+ */
+class SharedClassCache
+{
+  public:
+    /**
+     * Populate a cache by "running the middleware once" on the base
+     * image (paper §IV.C): walk the program's classes in canonical
+     * first-load order, storing each cacheable class's ROM part while
+     * space remains.
+     *
+     * @param classes   The program's class set.
+     * @param cache_name Cache name (J9 allows one cache per program;
+     *                  WAS uses a predefined name so all WAS processes
+     *                  share one cache).
+     * @param max_bytes Configured cache size (Table III).
+     * @param scope     Which classes to store (see CacheScope).
+     * @param population_salt Distinguishes independent populations: two
+     *                  caches built with different salts model caches
+     *                  populated separately in each VM (different
+     *                  layout internals → no cross-VM sharing). The
+     *                  paper's technique uses ONE population copied
+     *                  everywhere, i.e. the same salt.
+     */
+    static SharedClassCache build(const ClassSet &classes,
+                                  const std::string &cache_name,
+                                  Bytes max_bytes,
+                                  CacheScope scope =
+                                      CacheScope::MiddlewareOnly,
+                                  std::uint64_t population_salt = 0);
+
+    /** True if the class's ROM part is stored in the cache. */
+    bool
+    contains(std::uint32_t class_id) const
+    {
+        return class_id < offset_sector_.size() &&
+               offset_sector_[class_id] != UINT64_MAX;
+    }
+
+    /**
+     * Sector range [first, last) occupied by a cached class's ROM data.
+     * Only valid if contains(class_id).
+     */
+    std::pair<std::uint64_t, std::uint64_t>
+    sectorRange(std::uint32_t class_id) const;
+
+    /** Bytes of ROM data stored. */
+    Bytes usedBytes() const { return used_bytes_; }
+
+    /** Configured capacity. */
+    Bytes maxBytes() const { return max_bytes_; }
+
+    /** Number of classes stored. */
+    std::uint32_t storedClasses() const { return stored_classes_; }
+
+    /** Bytes stored for classes of @p origin (paper §V.A provenance). */
+    Bytes storedBytesByOrigin(ClassOrigin origin) const;
+
+    /**
+     * The cache file. Copying this FileImage into several guests is the
+     * paper's deployment step: all copies carry the same content tag.
+     */
+    const guest::FileImage &file() const { return file_; }
+
+    /** Cache name. */
+    const std::string &name() const { return name_; }
+
+    // ------------------------------------------------------------------
+    // AOT code section (extension beyond the paper)
+    // ------------------------------------------------------------------
+    //
+    // J9's shared class cache can also hold ahead-of-time compiled
+    // method bodies. AOT code is compiled *without* run-specific
+    // profile data, so — unlike JIT output — it is byte-identical
+    // across processes and VMs. This is the natural follow-up to the
+    // paper's observation that the JIT-compiled-code area cannot share:
+    // move the code into the copied cache and it can.
+
+    /**
+     * Append an AOT section holding bodies for methods [0, count) in
+     * order, subject to @p budget bytes. Method body sizes derive from
+     * the cache identity, so copies stay byte-identical.
+     */
+    void addAotSection(std::uint32_t method_count,
+                       Bytes avg_method_bytes, Bytes budget);
+
+    /** True if an AOT section was populated. */
+    bool hasAot() const { return aot_methods_ > 0; }
+
+    /** Methods stored in the AOT section. */
+    std::uint32_t aotMethods() const { return aot_methods_; }
+
+    /** True if @p method_id has an AOT body. */
+    bool
+    containsAotMethod(std::uint32_t method_id) const
+    {
+        return method_id < aot_methods_;
+    }
+
+    /** Sector range of a stored AOT body within the AOT file. */
+    std::pair<std::uint64_t, std::uint64_t>
+    aotSectorRange(std::uint32_t method_id) const;
+
+    /**
+     * The AOT section as its own mappable image (same archive, mapped
+     * executable — kept separate so the analysis attributes it to the
+     * JIT-code category, where the paper's Table IV would put it).
+     */
+    const guest::FileImage &aotFile() const { return aot_file_; }
+
+  private:
+    SharedClassCache()
+        : file_(guest::FileImage::shared("empty", 0)),
+          aot_file_(guest::FileImage::shared("empty-aot", 0))
+    {
+    }
+
+    std::string name_;
+    Bytes max_bytes_ = 0;
+    Bytes used_bytes_ = 0;
+    std::uint32_t stored_classes_ = 0;
+    /** Per class id: first sector, or UINT64_MAX if not stored. */
+    std::vector<std::uint64_t> offset_sector_;
+    std::vector<std::uint64_t> end_sector_;
+    Bytes origin_bytes_[3] = {0, 0, 0};
+    guest::FileImage file_;
+
+    std::uint32_t aot_methods_ = 0;
+    std::vector<std::uint64_t> aot_offset_sector_;
+    std::vector<std::uint64_t> aot_end_sector_;
+    guest::FileImage aot_file_;
+};
+
+} // namespace jtps::jvm
+
+#endif // JTPS_JVM_SHARED_CLASS_CACHE_HH

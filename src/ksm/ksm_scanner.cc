@@ -1,0 +1,250 @@
+#include "ksm/ksm_scanner.hh"
+
+#include "base/logging.hh"
+#include "base/units.hh"
+
+namespace jtps::ksm
+{
+
+KsmScanner::KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg,
+                       StatSet &stats)
+    : hv_(hv), cfg_(cfg), stats_(stats)
+{
+}
+
+void
+KsmScanner::setPagesToScan(std::uint32_t pages)
+{
+    cfg_.pagesToScan = pages;
+    stats_.set("ksm.pages_to_scan", pages);
+}
+
+void
+KsmScanner::setSleepMillisecs(Tick ms)
+{
+    jtps_assert(ms > 0);
+    cfg_.sleepMillisecs = ms;
+}
+
+Hfn
+KsmScanner::stableLookup(const mem::PageData &data)
+{
+    auto [begin, end] = stable_tree_.equal_range(data);
+    for (auto it = begin; it != end;) {
+        Hfn hfn = it->second;
+        // Lazy pruning: the frame may have been freed (all sharers
+        // COW-diverged or the host evicted it) or its content replaced.
+        if (!hv_.frames().isAllocated(hfn) ||
+            !hv_.frames().frame(hfn).ksmStable ||
+            !(hv_.frames().frame(hfn).data == data)) {
+            it = stable_tree_.erase(it);
+            stats_.inc("ksm.stale_stable_nodes");
+            continue;
+        }
+        // Chain discipline: a full stable frame stops accepting
+        // sharers; the next duplicate in the chain (or a fresh one)
+        // takes over.
+        if (hv_.frames().frame(hfn).refcount >= cfg_.maxPageSharing) {
+            ++it;
+            continue;
+        }
+        return hfn;
+    }
+    return invalidFrame;
+}
+
+bool
+KsmScanner::scanOne(VmId vm, Gfn gfn)
+{
+    const mem::PageData *data = hv_.peek(vm, gfn);
+    if (data == nullptr)
+        return false; // not resident: nothing to merge
+
+    if (hv_.isHugePage(vm, gfn)) {
+        // THP-backed memory is not madvise-MERGEABLE: skip.
+        stats_.inc("ksm.skipped_huge");
+        return true;
+    }
+
+    Hfn hfn = hv_.translate(vm, gfn);
+    if (hv_.frames().frame(hfn).ksmStable)
+        return true; // already a shared KSM page
+
+    // Calm check: skip pages whose content changed since the last visit.
+    hv::EptEntry &e = hv_.vm(vm).ept.entry(gfn);
+    const std::uint32_t sum = data->checksum();
+    if (!e.ksmChecksumValid || e.ksmChecksum != sum) {
+        e.ksmChecksum = sum;
+        e.ksmChecksumValid = true;
+        stats_.inc("ksm.not_calm");
+        return true;
+    }
+
+    // Stable tree first.
+    Hfn stable = stableLookup(*data);
+    if (stable != invalidFrame) {
+        if (hv_.ksmMergeInto(stable, vm, gfn)) {
+            ++merges_this_pass_;
+            ++merges_total_;
+            stats_.inc("ksm.stable_merges");
+        }
+        return true;
+    }
+
+    // Unstable tree: find another calm page with the same content seen
+    // earlier in this pass.
+    auto it = unstable_tree_.find(*data);
+    if (it != unstable_tree_.end()) {
+        auto [ovm, ogfn] = it->second;
+        if (ovm == vm && ogfn == gfn) {
+            return true; // same page revisited
+        }
+        const mem::PageData *other = hv_.peek(ovm, ogfn);
+        if (other == nullptr || !(*other == *data)) {
+            // The tree node went stale (page rewritten or swapped out);
+            // replace it with the current candidate.
+            it->second = {vm, gfn};
+            stats_.inc("ksm.stale_unstable_nodes");
+            return true;
+        }
+        Hfn fresh = hv_.ksmMakeStable(ovm, ogfn);
+        jtps_assert(fresh != invalidFrame);
+        stable_tree_.emplace(*data, fresh);
+        unstable_tree_.erase(it);
+        if (hv_.ksmMergeInto(fresh, vm, gfn)) {
+            ++merges_this_pass_;
+            ++merges_total_;
+            stats_.inc("ksm.unstable_promotions");
+        }
+        return true;
+    }
+
+    unstable_tree_.emplace(*data, std::make_pair(vm, gfn));
+    return true;
+}
+
+bool
+KsmScanner::advanceCursor()
+{
+    const std::size_t nvms = hv_.vmCount();
+    if (nvms == 0)
+        return false;
+
+    for (;;) {
+        if (cur_vm_ >= nvms) {
+            // End of a full pass over all mergeable memory.
+            cur_vm_ = 0;
+            cur_gfn_ = 0;
+            ++full_scans_;
+            stats_.set("ksm.full_scans", full_scans_);
+            unstable_tree_.clear();
+            return false;
+        }
+        const hv::Vm &v = hv_.vm(cur_vm_);
+        if (!v.mergeable || cur_gfn_ >= v.ept.size()) {
+            ++cur_vm_;
+            cur_gfn_ = 0;
+            continue;
+        }
+        return true;
+    }
+}
+
+std::uint64_t
+KsmScanner::scanBatch()
+{
+    if (hv_.vmCount() == 0)
+        return 0;
+
+    std::uint64_t visited = 0;
+    while (visited < cfg_.pagesToScan) {
+        if (!advanceCursor()) {
+            // Pass boundary reached; ksmd would continue into the next
+            // pass within the same wake, but stopping here keeps wake
+            // cost bounded and matches the batch accounting.
+            break;
+        }
+        // Like ksmd, only *present* pages consume the scan budget:
+        // the rmap walk skips holes in the address space nearly for
+        // free. The pass boundary still bounds each batch.
+        if (scanOne(cur_vm_, cur_gfn_))
+            ++visited;
+        ++cur_gfn_;
+    }
+    stats_.inc("ksm.pages_visited", visited);
+    return visited;
+}
+
+void
+KsmScanner::attach(sim::EventQueue &queue)
+{
+    attached_ = true;
+    queue.schedulePeriodic(cfg_.sleepMillisecs, [this]() {
+        if (!attached_)
+            return false;
+        scanBatch();
+        return true;
+    });
+}
+
+std::uint64_t
+KsmScanner::runToQuiescence(std::uint64_t max_full_scans)
+{
+    const std::uint64_t start_merges = merges_total_;
+    std::uint64_t quiet_passes = 0;
+    std::uint64_t passes = 0;
+
+    while (passes < max_full_scans && quiet_passes < 2) {
+        const std::uint64_t pass_start = full_scans_;
+        merges_this_pass_ = 0;
+        while (full_scans_ == pass_start)
+            scanBatch();
+        ++passes;
+        if (merges_this_pass_ == 0)
+            ++quiet_passes;
+        else
+            quiet_passes = 0;
+    }
+    return merges_total_ - start_merges;
+}
+
+std::uint64_t
+KsmScanner::pagesShared() const
+{
+    std::uint64_t shared = 0;
+    hv_.frames().forEachResident(
+        [&](Hfn, const mem::Frame &f) {
+            if (f.ksmStable)
+                ++shared;
+        });
+    return shared;
+}
+
+std::uint64_t
+KsmScanner::pagesSharing() const
+{
+    std::uint64_t sharing = 0;
+    hv_.frames().forEachResident(
+        [&](Hfn, const mem::Frame &f) {
+            if (f.ksmStable && f.refcount > 1)
+                sharing += f.refcount - 1;
+        });
+    return sharing;
+}
+
+Bytes
+KsmScanner::savedBytes() const
+{
+    return pagesToBytes(pagesSharing());
+}
+
+double
+KsmScanner::cpuUsage() const
+{
+    const double busy_us = cfg_.pagesToScan * cfg_.scanCostUs;
+    const double period_us =
+        static_cast<double>(cfg_.sleepMillisecs) * 1000.0;
+    return busy_us / (busy_us + period_us);
+}
+
+} // namespace jtps::ksm

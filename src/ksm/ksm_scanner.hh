@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Kernel Samepage Merging (KSM) — the TPS implementation used by KVM in
+ * the paper (Arcangeli, Eidus & Wright, "Increasing memory density by
+ * using KSM", OLS 2009).
+ *
+ * The model follows the real algorithm:
+ *
+ *  - The scanner wakes every `sleepMillisecs`, scans `pagesToScan`
+ *    candidate pages (round-robin across all mergeable guest memory),
+ *    then sleeps. Both knobs are the tunables the paper adjusts (10,000
+ *    pages during warm-up at ~25% CPU, then 1,000 pages at ~2%).
+ *  - A page whose 32-bit checksum changed since the last visit is "not
+ *    calm" and is skipped — this is what keeps GC-churned Java heap
+ *    pages from being merged, and why only *stable* zero pages share.
+ *  - Calm pages are looked up in the *stable tree* (content-ordered tree
+ *    of already-shared KSM pages). A hit merges the candidate into the
+ *    stable frame copy-on-write.
+ *  - Otherwise the *unstable tree* (rebuilt every full scan) is
+ *    searched; a content match promotes the pair to a new stable node.
+ *
+ * Stale stable-tree nodes (frame freed or COW-diverged) are pruned
+ * lazily on lookup, as in the real implementation.
+ */
+
+#ifndef JTPS_KSM_KSM_SCANNER_HH
+#define JTPS_KSM_KSM_SCANNER_HH
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "hv/hypervisor.hh"
+#include "mem/page_data.hh"
+#include "sim/event_queue.hh"
+
+namespace jtps::ksm
+{
+
+/** Scanner tuning knobs (sysfs: /sys/kernel/mm/ksm/...). */
+struct KsmConfig
+{
+    /** Pages to scan per wake (`pages_to_scan`). */
+    std::uint32_t pagesToScan = 1000;
+    /** Sleep between wakes in milliseconds (`sleep_millisecs`). */
+    Tick sleepMillisecs = 100;
+    /** Modelled scanner cost per visited page, microseconds. */
+    double scanCostUs = 2.5;
+    /**
+     * Maximum mappings per stable frame (`max_page_sharing`): once a
+     * stable page is shared this many times, further identical pages
+     * start a *duplicate* stable frame (a chain), bounding the
+     * reverse-mapping work per page. Mostly visible on the zero page.
+     */
+    std::uint32_t maxPageSharing = 256;
+};
+
+/**
+ * The KSM scanning daemon (ksmd).
+ */
+class KsmScanner
+{
+  public:
+    /**
+     * @param hv The hypervisor whose mergeable guest memory is scanned.
+     * @param cfg Initial tuning.
+     * @param stats Stat sink ("ksm." prefixed).
+     */
+    KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg, StatSet &stats);
+
+    /** Retune pages_to_scan (the paper lowers it after warm-up). */
+    void setPagesToScan(std::uint32_t pages);
+
+    /** Retune the sleep interval. */
+    void setSleepMillisecs(Tick ms);
+
+    /** Current configuration. */
+    const KsmConfig &config() const { return cfg_; }
+
+    /**
+     * One wake of ksmd: scan up to pagesToScan pages.
+     * @return pages actually visited.
+     */
+    std::uint64_t scanBatch();
+
+    /**
+     * Attach to an event queue: wake every sleepMillisecs until
+     * detach() is called or the queue is drained.
+     */
+    void attach(sim::EventQueue &queue);
+
+    /** Stop periodic scanning (takes effect at the next wake). */
+    void detach() { attached_ = false; }
+
+    /**
+     * Convenience for benches: keep scanning until two consecutive full
+     * passes produce no new merges (or @p max_full_scans passes happen).
+     * @return total pages merged.
+     */
+    std::uint64_t runToQuiescence(std::uint64_t max_full_scans = 64);
+
+    /** Completed full passes over all mergeable memory. */
+    std::uint64_t fullScans() const { return full_scans_; }
+
+    /** Number of stable (shared) KSM frames, like `pages_shared`. */
+    std::uint64_t pagesShared() const;
+
+    /**
+     * Number of guest pages saved by deduplication, like
+     * `pages_sharing`: for each stable frame, refcount - 1.
+     */
+    std::uint64_t pagesSharing() const;
+
+    /** Bytes saved: pagesSharing() * pageSize. */
+    Bytes savedBytes() const;
+
+    /**
+     * Modelled ksmd CPU utilisation for the current tuning:
+     * pagesToScan * scanCostUs / (sleepMillisecs * 1000).
+     */
+    double cpuUsage() const;
+
+  private:
+    /** Visit one candidate page. @return true if it was resident. */
+    bool scanOne(VmId vm, Gfn gfn);
+
+    /** Advance the cursor; returns false at the end of a full pass. */
+    bool advanceCursor();
+
+    /** Look up @p data in the stable tree, pruning stale nodes. */
+    Hfn stableLookup(const mem::PageData &data);
+
+    hv::Hypervisor &hv_;
+    KsmConfig cfg_;
+    StatSet &stats_;
+    bool attached_ = false;
+
+    // Scan cursor.
+    VmId cur_vm_ = 0;
+    Gfn cur_gfn_ = 0;
+
+    std::uint64_t full_scans_ = 0;
+    std::uint64_t merges_this_pass_ = 0;
+    std::uint64_t merges_total_ = 0;
+
+    /** Stable tree: content -> shared frames (duplicates form
+     *  max_page_sharing chains, hence the multimap). */
+    std::multimap<mem::PageData, Hfn> stable_tree_;
+    /** Unstable tree: content -> candidate page; cleared each pass. */
+    std::map<mem::PageData, std::pair<VmId, Gfn>> unstable_tree_;
+};
+
+} // namespace jtps::ksm
+
+#endif // JTPS_KSM_KSM_SCANNER_HH

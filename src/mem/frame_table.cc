@@ -1,0 +1,222 @@
+#include "mem/frame_table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace jtps::mem
+{
+
+FrameTable::FrameTable(std::uint64_t capacity_frames, StatSet *stats)
+    : capacity_(capacity_frames), stats_(stats)
+{
+    jtps_assert(capacity_frames > 0);
+}
+
+Hfn
+FrameTable::allocRaw(const PageData &initial)
+{
+    if (resident_ >= capacity_)
+        return invalidFrame;
+
+    Hfn hfn;
+    if (!free_list_.empty()) {
+        hfn = free_list_.back();
+        free_list_.pop_back();
+    } else {
+        hfn = frames_.size();
+        frames_.emplace_back();
+        allocated_.push_back(false);
+    }
+
+    Frame &f = frames_[hfn];
+    f.data = initial;
+    f.refcount = 0;
+    f.ksmStable = false;
+    f.referenced = true;
+    f.lastTouch = ++access_clock_;
+    f.pinned = false;
+    f.primary = Mapping{};
+    f.extra.clear();
+    allocated_[hfn] = true;
+    ++resident_;
+    if (stats_)
+        stats_->inc("host.frames_allocated");
+    return hfn;
+}
+
+void
+FrameTable::freeRaw(Hfn hfn)
+{
+    jtps_assert(isAllocated(hfn));
+    allocated_[hfn] = false;
+    frames_[hfn].ksmStable = false;
+    frames_[hfn].extra.clear();
+    free_list_.push_back(hfn);
+    --resident_;
+    if (stats_)
+        stats_->inc("host.frames_freed");
+}
+
+Hfn
+FrameTable::alloc(const Mapping &m, const PageData &initial)
+{
+    Hfn hfn = allocRaw(initial);
+    if (hfn == invalidFrame)
+        return invalidFrame;
+    Frame &f = frames_[hfn];
+    f.primary = m;
+    f.refcount = 1;
+    return hfn;
+}
+
+Hfn
+FrameTable::allocPinned(const PageData &initial)
+{
+    Hfn hfn = allocRaw(initial);
+    if (hfn == invalidFrame)
+        return invalidFrame;
+    Frame &f = frames_[hfn];
+    f.pinned = true;
+    f.refcount = 1; // the hypervisor itself holds the reference
+    return hfn;
+}
+
+void
+FrameTable::addMapping(Hfn hfn, const Mapping &m)
+{
+    Frame &f = frame(hfn);
+    jtps_assert(!f.pinned);
+    jtps_assert(f.refcount >= 1);
+    f.extra.push_back(m);
+    ++f.refcount;
+    if (stats_)
+        stats_->inc("host.mappings_added");
+}
+
+bool
+FrameTable::removeMapping(Hfn hfn, const Mapping &m)
+{
+    Frame &f = frame(hfn);
+    jtps_assert(!f.pinned);
+    jtps_assert(f.refcount >= 1);
+
+    if (f.primary == m) {
+        if (f.extra.empty()) {
+            f.refcount = 0;
+            freeRaw(hfn);
+            return true;
+        }
+        f.primary = f.extra.back();
+        f.extra.pop_back();
+        --f.refcount;
+        return false;
+    }
+
+    auto it = std::find(f.extra.begin(), f.extra.end(), m);
+    jtps_assert(it != f.extra.end());
+    f.extra.erase(it);
+    --f.refcount;
+    return false;
+}
+
+void
+FrameTable::freePinned(Hfn hfn)
+{
+    Frame &f = frame(hfn);
+    jtps_assert(f.pinned && f.refcount == 1);
+    f.refcount = 0;
+    freeRaw(hfn);
+}
+
+Frame &
+FrameTable::frame(Hfn hfn)
+{
+    jtps_assert(isAllocated(hfn));
+    return frames_[hfn];
+}
+
+const Frame &
+FrameTable::frame(Hfn hfn) const
+{
+    jtps_assert(isAllocated(hfn));
+    return frames_[hfn];
+}
+
+bool
+FrameTable::isAllocated(Hfn hfn) const
+{
+    return hfn < frames_.size() && allocated_[hfn];
+}
+
+void
+FrameTable::touch(Hfn hfn)
+{
+    Frame &f = frame(hfn);
+    f.referenced = true;
+    f.lastTouch = ++access_clock_;
+}
+
+Hfn
+FrameTable::pickVictim(bool allow_shared)
+{
+    if (frames_.empty())
+        return invalidFrame;
+
+    // Sampled LRU: draw a handful of random frames, take the oldest
+    // eligible one. Approximates global LRU reclaim at O(1) cost.
+    constexpr int sample_size = 16;
+    Hfn best = invalidFrame;
+    for (int i = 0; i < sample_size; ++i) {
+        const Hfn h = victim_rng_.nextBelow(frames_.size());
+        if (!allocated_[h])
+            continue;
+        const Frame &f = frames_[h];
+        if (f.pinned)
+            continue;
+        if (f.refcount > 1 && !allow_shared)
+            continue;
+        if (best == invalidFrame ||
+            f.lastTouch < frames_[best].lastTouch) {
+            best = h;
+        }
+    }
+    if (best != invalidFrame)
+        return best;
+
+    // Fallback sweep: the sample can miss when few frames are eligible.
+    for (std::uint64_t step = 0; step < frames_.size(); ++step) {
+        const Hfn h = clock_hand_;
+        clock_hand_ = (clock_hand_ + 1) % frames_.size();
+        if (!allocated_[h])
+            continue;
+        const Frame &f = frames_[h];
+        if (f.pinned)
+            continue;
+        if (f.refcount > 1 && !allow_shared)
+            continue;
+        return h;
+    }
+    return invalidFrame;
+}
+
+void
+FrameTable::checkConsistency() const
+{
+    std::uint64_t resident_count = 0;
+    for (Hfn h = 0; h < frames_.size(); ++h) {
+        if (!allocated_[h]) {
+            continue;
+        }
+        ++resident_count;
+        const Frame &f = frames_[h];
+        if (f.pinned) {
+            jtps_assert(f.refcount == 1 && f.extra.empty());
+        } else {
+            jtps_assert(f.refcount == 1 + f.extra.size());
+        }
+    }
+    jtps_assert(resident_count == resident_);
+}
+
+} // namespace jtps::mem

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Host physical memory: the frame table.
+ *
+ * The FrameTable owns every host physical 4 KiB frame, its content, its
+ * reference count, and its reverse mappings (which VM guest-frames map to
+ * it). The hypervisor performs all mapping changes through this API so
+ * that the invariant "refcount == number of reverse mappings == number of
+ * EPT entries pointing at the frame" can be enforced centrally — it is
+ * what makes the paper's owner-oriented accounting well defined.
+ *
+ * Eviction uses a two-handed clock (referenced bits set by touch()) so
+ * that the overcommit experiments (Figs. 7 and 8) scale to millions of
+ * frames without O(n) victim scans.
+ */
+
+#ifndef JTPS_MEM_FRAME_TABLE_HH
+#define JTPS_MEM_FRAME_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/page_data.hh"
+
+namespace jtps::mem
+{
+
+/** One reverse-mapping entry: a guest frame of some VM maps here. */
+struct Mapping
+{
+    VmId vm = invalidVm;
+    Gfn gfn = invalidFrame;
+
+    bool operator==(const Mapping &other) const = default;
+};
+
+/**
+ * One host physical frame. Fields are public within the mem module;
+ * external code goes through FrameTable.
+ */
+struct Frame
+{
+    PageData data;
+    std::uint64_t lastTouch = 0; //!< logical access time (LRU age)
+    std::uint32_t refcount = 0;
+    bool ksmStable = false;  //!< member of the KSM stable tree
+    bool referenced = false; //!< accessed bit (kept for introspection)
+    bool pinned = false;     //!< never evicted (hypervisor-private)
+    /** First reverse mapping, inline: most frames have exactly one. */
+    Mapping primary;
+    /** Reverse mappings beyond the first (KSM-shared frames). */
+    std::vector<Mapping> extra;
+
+    /** Call @p fn for every reverse mapping of this frame. */
+    template <typename Fn>
+    void
+    forEachMapping(Fn &&fn) const
+    {
+        if (refcount == 0)
+            return;
+        fn(primary);
+        for (const auto &m : extra)
+            fn(m);
+    }
+
+    /** Collect all reverse mappings into a vector. */
+    std::vector<Mapping>
+    mappings() const
+    {
+        std::vector<Mapping> out;
+        forEachMapping([&](const Mapping &m) { out.push_back(m); });
+        return out;
+    }
+};
+
+/**
+ * The host frame table: allocation, refcounting, reverse mappings, and
+ * clock-based victim selection.
+ */
+class FrameTable
+{
+  public:
+    /**
+     * @param capacity_frames Size of host physical memory in frames.
+     * @param stats Optional stat sink ("host." prefixed counters).
+     */
+    explicit FrameTable(std::uint64_t capacity_frames,
+                        StatSet *stats = nullptr);
+
+    /**
+     * Allocate a frame holding @p initial, mapped by @p m.
+     * @return the new frame number, or invalidFrame if memory is full
+     *         (the caller — the hypervisor — must evict and retry).
+     */
+    Hfn alloc(const Mapping &m, const PageData &initial);
+
+    /**
+     * Allocate a frame with no guest mapping (hypervisor-private memory,
+     * e.g. the VM process overhead). Pinned frames are never evicted and
+     * are attributed to the VM itself by the analysis layer.
+     */
+    Hfn allocPinned(const PageData &initial);
+
+    /** Add a reverse mapping (sharing the frame); bumps refcount. */
+    void addMapping(Hfn hfn, const Mapping &m);
+
+    /**
+     * Remove a reverse mapping; drops refcount and frees the frame when
+     * it reaches zero.
+     * @return true if the frame was freed.
+     */
+    bool removeMapping(Hfn hfn, const Mapping &m);
+
+    /** Free a pinned frame. */
+    void freePinned(Hfn hfn);
+
+    /** Mutable access to a frame (must be allocated). */
+    Frame &frame(Hfn hfn);
+
+    /** Read-only access to a frame (must be allocated). */
+    const Frame &frame(Hfn hfn) const;
+
+    /** True if @p hfn currently holds an allocated frame. */
+    bool isAllocated(Hfn hfn) const;
+
+    /** Mark the frame recently used (clock second chance). */
+    void touch(Hfn hfn);
+
+    /**
+     * Pick an eviction victim by sampled LRU: draw a fixed-size random
+     * sample of frames and evict the least recently touched eligible
+     * one — a good approximation of the kernel's global LRU reclaim
+     * that treats every process's memory uniformly by recency. Pinned
+     * frames are skipped; frames with refcount > 1 are only eligible
+     * when @p allow_shared is set. Falls back to a linear sweep when
+     * the sample finds nothing eligible.
+     * @return a victim frame number, or invalidFrame if none exists.
+     */
+    Hfn pickVictim(bool allow_shared);
+
+    /** Host physical capacity in frames. */
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Number of allocated (resident) frames. */
+    std::uint64_t resident() const { return resident_; }
+
+    /** Frames still available without eviction. */
+    std::uint64_t freeFrames() const { return capacity_ - resident_; }
+
+    /** Call @p fn(hfn, frame) for every allocated frame. */
+    template <typename Fn>
+    void
+    forEachResident(Fn &&fn) const
+    {
+        for (Hfn h = 0; h < frames_.size(); ++h)
+            if (allocated_[h])
+                fn(h, frames_[h]);
+    }
+
+    /**
+     * Verify internal consistency (refcount matches rmap arity, resident
+     * counter matches allocation bitmap). Used by tests; panics on
+     * violation.
+     */
+    void checkConsistency() const;
+
+  private:
+    Hfn allocRaw(const PageData &initial);
+    void freeRaw(Hfn hfn);
+
+    std::uint64_t capacity_;
+    std::uint64_t resident_ = 0;
+    std::vector<Frame> frames_;
+    std::vector<bool> allocated_;
+    std::vector<Hfn> free_list_;
+    std::uint64_t clock_hand_ = 0;   //!< fallback sweep position
+    std::uint64_t access_clock_ = 0; //!< logical time for LRU ages
+    Rng victim_rng_{stringTag("frame-lru")};
+    StatSet *stats_;
+};
+
+} // namespace jtps::mem
+
+#endif // JTPS_MEM_FRAME_TABLE_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The page content model.
+ *
+ * A real 4 KiB page is modelled by eight 64-bit "sector words", one per
+ * 512-byte sector. Every component that writes memory derives the words
+ * it stores deterministically from stable identifiers (see base/hash.hh),
+ * so two modelled pages compare equal exactly when the real pages they
+ * stand for would be byte-identical. This is the property Transparent
+ * Page Sharing depends on, and it is all TPS depends on — KSM never
+ * looks *inside* a page except to compare and checksum it, so a model
+ * that preserves equality/inequality of content preserves KSM behaviour.
+ *
+ * The 512-byte sector granularity is fine enough to capture the paper's
+ * sharing-killers: a single mutated object header, a pointer in a stack
+ * frame, or one malloc'd chunk in an otherwise-empty arena page all dirty
+ * one sector and make the page unshareable.
+ */
+
+#ifndef JTPS_MEM_PAGE_DATA_HH
+#define JTPS_MEM_PAGE_DATA_HH
+
+#include <array>
+#include <cstdint>
+
+#include "base/hash.hh"
+
+namespace jtps::mem
+{
+
+/** Number of modelled sectors per page. */
+constexpr unsigned sectorsPerPage = 8;
+
+/**
+ * Content of one 4 KiB page, as eight sector words.
+ */
+struct PageData
+{
+    std::array<std::uint64_t, sectorsPerPage> word{};
+
+    /** The all-zero page (what the OS hands out, and what GC leaves). */
+    static PageData
+    zero()
+    {
+        return PageData{};
+    }
+
+    /** A page whose every sector derives from (tag, salt, sector). */
+    static PageData
+    filled(std::uint64_t tag, std::uint64_t salt)
+    {
+        PageData d;
+        for (unsigned s = 0; s < sectorsPerPage; ++s)
+            d.word[s] = hash3(tag, salt, s);
+        return d;
+    }
+
+    /** True if all sectors are zero. */
+    bool
+    isZero() const
+    {
+        for (auto w : word)
+            if (w != 0)
+                return false;
+        return true;
+    }
+
+    /** 32-bit checksum, the analogue of KSM's jhash2 over the page. */
+    std::uint32_t
+    checksum() const
+    {
+        std::uint64_t h = 0x4b534d63686b00ULL; // "KSMchk"
+        for (auto w : word)
+            h = hashCombine(h, w);
+        return static_cast<std::uint32_t>(h ^ (h >> 32));
+    }
+
+    /** Full-width digest for tree keys and tests. */
+    std::uint64_t
+    digest() const
+    {
+        std::uint64_t h = 0x6469676573740aULL;
+        for (auto w : word)
+            h = hashCombine(h, w);
+        return h;
+    }
+
+    bool operator==(const PageData &other) const = default;
+
+    /** Lexicographic order, used as the KSM tree key ordering. */
+    bool
+    operator<(const PageData &other) const
+    {
+        return word < other.word;
+    }
+};
+
+} // namespace jtps::mem
+
+#endif // JTPS_MEM_PAGE_DATA_HH

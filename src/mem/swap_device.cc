@@ -1,0 +1,15 @@
+#include "mem/swap_device.hh"
+
+#include "base/logging.hh"
+
+namespace jtps::mem
+{
+
+void
+SwapDevice::panicMissing(SwapSlot id)
+{
+    panic("swap-in of nonexistent slot %llu",
+          static_cast<unsigned long long>(id));
+}
+
+} // namespace jtps::mem

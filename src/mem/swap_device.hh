@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Host swap device.
+ *
+ * When the host overcommits (the density experiments of Figs. 7 and 8),
+ * evicted frames are written here together with their reverse-mapping
+ * list, so that a later fault can restore the frame *and* its sharing
+ * structure. Swap-in re-establishes every mapping the frame had; this
+ * mirrors Linux's swap cache behaviour closely enough for the throughput
+ * model, and keeps the refcount invariants exact.
+ */
+
+#ifndef JTPS_MEM_SWAP_DEVICE_HH
+#define JTPS_MEM_SWAP_DEVICE_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "base/logging.hh"
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "mem/frame_table.hh"
+#include "mem/page_data.hh"
+
+namespace jtps::mem
+{
+
+/** Identifier of a swap slot. */
+using SwapSlot = std::uint64_t;
+
+/** Sentinel for "no swap slot". */
+constexpr SwapSlot invalidSwapSlot = UINT64_MAX;
+
+/**
+ * Where an evicted page's content lives. The paper's related work
+ * (§VI, Difference Engine / Active Memory Expansion) pages to
+ * *compressed RAM* before disk: refaults from the RAM tier cost a
+ * decompression, not a disk seek.
+ */
+enum class SwapTier : std::uint8_t
+{
+    Disk,
+    CompressedRam,
+};
+
+/**
+ * The swap device: a map from slot id to stored page content plus the
+ * mappings that referenced the evicted frame.
+ */
+class SwapDevice
+{
+  public:
+    explicit SwapDevice(StatSet *stats = nullptr) : stats_(stats) {}
+
+    /** Contents of one slot. */
+    struct Slot
+    {
+        PageData data;
+        std::vector<Mapping> mappings;
+        SwapTier tier = SwapTier::Disk;
+    };
+
+    /** Store an evicted page; returns the slot id. */
+    SwapSlot
+    store(const PageData &data, std::vector<Mapping> mappings,
+          SwapTier tier = SwapTier::Disk)
+    {
+        SwapSlot id = next_slot_++;
+        slots_.emplace(id, Slot{data, std::move(mappings), tier});
+        if (tier == SwapTier::CompressedRam)
+            ++ram_slots_;
+        if (stats_) {
+            stats_->inc("host.pswpout");
+            stats_->set("host.swap_slots", slots_.size());
+            stats_->set("host.swap_slots_ram", ram_slots_);
+        }
+        return id;
+    }
+
+    /** Tier of an existing slot. */
+    SwapTier
+    tier(SwapSlot id) const
+    {
+        auto it = slots_.find(id);
+        if (it == slots_.end())
+            panicMissing(id);
+        return it->second.tier;
+    }
+
+    /** Remove and return a slot (swap-in). */
+    Slot
+    take(SwapSlot id)
+    {
+        auto it = slots_.find(id);
+        if (it == slots_.end())
+            panicMissing(id);
+        Slot s = std::move(it->second);
+        slots_.erase(it);
+        if (s.tier == SwapTier::CompressedRam) {
+            jtps_assert(ram_slots_ > 0);
+            --ram_slots_;
+        }
+        if (stats_) {
+            stats_->inc("host.pswpin");
+            stats_->set("host.swap_slots", slots_.size());
+            stats_->set("host.swap_slots_ram", ram_slots_);
+        }
+        return s;
+    }
+
+    /** Slots currently held in the compressed-RAM tier. */
+    std::uint64_t ramSlots() const { return ram_slots_; }
+
+    /**
+     * Remove a single mapping from a slot (the guest discarded the page
+     * while it was swapped out). Frees the slot when no mappings remain.
+     * @return true if the slot was freed.
+     */
+    bool
+    dropMapping(SwapSlot id, const Mapping &m)
+    {
+        auto it = slots_.find(id);
+        if (it == slots_.end())
+            panicMissing(id);
+        auto &maps = it->second.mappings;
+        auto mit = std::find(maps.begin(), maps.end(), m);
+        if (mit != maps.end())
+            maps.erase(mit);
+        if (maps.empty()) {
+            if (it->second.tier == SwapTier::CompressedRam) {
+                jtps_assert(ram_slots_ > 0);
+                --ram_slots_;
+            }
+            slots_.erase(it);
+            if (stats_) {
+                stats_->set("host.swap_slots", slots_.size());
+                stats_->set("host.swap_slots_ram", ram_slots_);
+            }
+            return true;
+        }
+        return false;
+    }
+
+    /** True if the slot exists. */
+    bool has(SwapSlot id) const { return slots_.count(id) != 0; }
+
+    /** Number of occupied slots. */
+    std::uint64_t used() const { return slots_.size(); }
+
+  private:
+    [[noreturn]] static void panicMissing(SwapSlot id);
+
+    std::unordered_map<SwapSlot, Slot> slots_;
+    SwapSlot next_slot_ = 0;
+    std::uint64_t ram_slots_ = 0;
+    StatSet *stats_;
+};
+
+} // namespace jtps::mem
+
+#endif // JTPS_MEM_SWAP_DEVICE_HH

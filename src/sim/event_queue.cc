@@ -1,0 +1,77 @@
+#include "sim/event_queue.hh"
+
+#include <memory>
+
+#include "base/logging.hh"
+
+namespace jtps::sim
+{
+
+void
+EventQueue::scheduleAt(Tick when, EventFn fn)
+{
+    jtps_assert(when >= now_);
+    events_.emplace(std::make_pair(when, next_seq_++), std::move(fn));
+}
+
+void
+EventQueue::scheduleAfter(Tick delay, EventFn fn)
+{
+    scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::schedulePeriodic(Tick period, std::function<bool()> fn)
+{
+    jtps_assert(period > 0);
+    // Self-rescheduling wrapper; capture by value so the shared state
+    // lives as long as the chain of events does.
+    auto wrapper = std::make_shared<std::function<void()>>();
+    auto callback = std::move(fn);
+    *wrapper = [this, period, callback, wrapper]() {
+        if (callback())
+            scheduleAfter(period, *wrapper);
+    };
+    scheduleAfter(period, *wrapper);
+}
+
+std::size_t
+EventQueue::pending() const
+{
+    return events_.size();
+}
+
+void
+EventQueue::runOne()
+{
+    auto it = events_.begin();
+    jtps_assert(it->first.first >= now_);
+    now_ = it->first.first;
+    EventFn fn = std::move(it->second);
+    events_.erase(it);
+    fn();
+}
+
+void
+EventQueue::run()
+{
+    while (!events_.empty())
+        runOne();
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!events_.empty() && events_.begin()->first.first <= until)
+        runOne();
+    if (now_ < until)
+        now_ = until;
+}
+
+void
+EventQueue::clear()
+{
+    events_.clear();
+}
+
+} // namespace jtps::sim

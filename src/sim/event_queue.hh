@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A small discrete-event simulation engine.
+ *
+ * Simulated time is measured in Ticks (milliseconds). Components
+ * (the KSM scanner, GC timers, client drivers, measurement snapshots)
+ * schedule callbacks; EventQueue::run() drains them in time order.
+ * Events scheduled at the same tick run in insertion order so that a
+ * scenario is fully deterministic.
+ */
+
+#ifndef JTPS_SIM_EVENT_QUEUE_HH
+#define JTPS_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace jtps::sim
+{
+
+/** Callback type for scheduled events. */
+using EventFn = std::function<void()>;
+
+/**
+ * Time-ordered event queue with support for one-shot and periodic
+ * events. Not thread-safe; the simulator is single-threaded.
+ */
+class EventQueue
+{
+  public:
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule @p fn to run at absolute tick @p when (>= now). */
+    void scheduleAt(Tick when, EventFn fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    void scheduleAfter(Tick delay, EventFn fn);
+
+    /**
+     * Schedule @p fn every @p period ticks, starting @p period from now.
+     * The callback returns true to keep running, false to cancel.
+     */
+    void schedulePeriodic(Tick period, std::function<bool()> fn);
+
+    /** Number of pending events. */
+    std::size_t pending() const;
+
+    /** Run until the queue is empty. */
+    void run();
+
+    /**
+     * Run until simulated time reaches @p until (events at exactly
+     * @p until still execute). Later events stay queued.
+     */
+    void runUntil(Tick until);
+
+    /** Drop all pending events without running them. */
+    void clear();
+
+  private:
+    void runOne();
+
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    // Key: (tick, insertion sequence) for deterministic same-tick order.
+    std::map<std::pair<Tick, std::uint64_t>, EventFn> events_;
+};
+
+} // namespace jtps::sim
+
+#endif // JTPS_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the base library: hashing, RNG, units, stats, tables.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "base/hash.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+#include "base/units.hh"
+
+using namespace jtps;
+
+TEST(Hash, Mix64IsDeterministicAndDispersive)
+{
+    EXPECT_EQ(mix64(1), mix64(1));
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 10000; ++i)
+        seen.insert(mix64(i));
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash, CombineOrderMatters)
+{
+    EXPECT_NE(hashCombine(mix64(1), 2), hashCombine(mix64(2), 1));
+    EXPECT_NE(hash3(1, 2, 3), hash3(3, 2, 1));
+    EXPECT_EQ(hash4(1, 2, 3, 4), hash4(1, 2, 3, 4));
+}
+
+TEST(Hash, StringTagStableAndDistinct)
+{
+    EXPECT_EQ(stringTag("libjvm.so"), stringTag("libjvm.so"));
+    EXPECT_NE(stringTag("libjvm.so"), stringTag("libjvm.sa"));
+    EXPECT_NE(stringTag(""), stringTag("a"));
+}
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, NextBelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.nextBelow(17), 17u);
+    for (int i = 0; i < 1000; ++i) {
+        auto v = rng.nextRange(5, 9);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 9u);
+    }
+}
+
+TEST(Rng, NextDoubleInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, PerturbOrderPreservesElements)
+{
+    std::vector<std::uint32_t> order(500);
+    for (std::uint32_t i = 0; i < 500; ++i)
+        order[i] = i;
+    Rng rng(3);
+    rng.perturbOrder(order, 0.35, 8);
+
+    auto sorted = order;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::uint32_t i = 0; i < 500; ++i)
+        ASSERT_EQ(sorted[i], i);
+    // ...but the order must actually have changed somewhere.
+    bool changed = false;
+    for (std::uint32_t i = 0; i < 500; ++i)
+        changed |= order[i] != i;
+    EXPECT_TRUE(changed);
+}
+
+TEST(Rng, PerturbOrderIsLocal)
+{
+    std::vector<std::uint32_t> order(1000);
+    for (std::uint32_t i = 0; i < 1000; ++i)
+        order[i] = i;
+    Rng rng(4);
+    rng.perturbOrder(order, 0.5, 8);
+    for (std::uint32_t i = 0; i < 1000; ++i) {
+        // Each element can move at most `window` slots per swap and is
+        // swapped at most a couple of times; allow generous slack.
+        ASSERT_LT(std::abs(static_cast<long>(order[i]) -
+                           static_cast<long>(i)),
+                  64);
+    }
+}
+
+TEST(Rng, PerturbDiffersBySeed)
+{
+    std::vector<std::uint32_t> a(200), b(200);
+    for (std::uint32_t i = 0; i < 200; ++i)
+        a[i] = b[i] = i;
+    Rng ra(100), rb(101);
+    ra.perturbOrder(a, 0.35, 8);
+    rb.perturbOrder(b, 0.35, 8);
+    EXPECT_NE(a, b);
+}
+
+TEST(Units, PageMath)
+{
+    EXPECT_EQ(bytesToPages(0), 0u);
+    EXPECT_EQ(bytesToPages(1), 1u);
+    EXPECT_EQ(bytesToPages(4096), 1u);
+    EXPECT_EQ(bytesToPages(4097), 2u);
+    EXPECT_EQ(pagesToBytes(3), 12288u);
+    EXPECT_EQ(pageAlignUp(5000), 8192u);
+    EXPECT_EQ(pageAlignUp(8192), 8192u);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2 * KiB), "2.0 KiB");
+    EXPECT_EQ(formatBytes(3 * MiB), "3.0 MiB");
+    EXPECT_EQ(formatMiB(1536 * KiB), "1.5");
+}
+
+TEST(Stats, CountersAndScalars)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("x"), 0u);
+    EXPECT_FALSE(s.has("x"));
+    s.inc("x");
+    s.inc("x", 4);
+    EXPECT_EQ(s.get("x"), 5u);
+    s.dec("x", 2);
+    EXPECT_EQ(s.get("x"), 3u);
+    s.set("x", 100);
+    EXPECT_EQ(s.get("x"), 100u);
+    s.setScalar("pi", 3.25);
+    EXPECT_DOUBLE_EQ(s.getScalar("pi"), 3.25);
+    EXPECT_TRUE(s.has("pi"));
+    EXPECT_NE(s.render().find("pi"), std::string::npos);
+    s.clear();
+    EXPECT_FALSE(s.has("x"));
+}
+
+TEST(Table, AlignedRender)
+{
+    TextTable t;
+    t.addRow({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting)
+{
+    TextTable t;
+    t.addRow({"a,b", "plain", "with \"quote\""});
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("plain"), std::string::npos);
+    EXPECT_NE(csv.find("\"with \"\"quote\"\"\""), std::string::npos);
+}
+
+TEST(Table, StackedBarScales)
+{
+    std::vector<BarSegment> segs = {{"x", 50, 'x'}, {"y", 50, 'y'}};
+    std::string bar = renderStackedBar("L", segs, 100, 40);
+    EXPECT_EQ(std::count(bar.begin(), bar.end(), 'x'), 20);
+    EXPECT_EQ(std::count(bar.begin(), bar.end(), 'y'), 20);
+    std::string legend = renderBarLegend(segs);
+    EXPECT_NE(legend.find("x=x"), std::string::npos);
+}

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Unit tests for the guest OS: processes, VMAs, page tables, the file
+ * page cache, kernel boot.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "guest/guest_os.hh"
+#include "hv/hypervisor.hh"
+
+using namespace jtps;
+using guest::FileImage;
+using guest::GuestOs;
+using guest::KernelConfig;
+using guest::MemCategory;
+using guest::Vma;
+using hv::KvmHypervisor;
+using mem::PageData;
+
+namespace
+{
+
+struct GuestFixture : ::testing::Test
+{
+    StatSet stats;
+    hv::HostConfig host_cfg;
+    std::unique_ptr<KvmHypervisor> hv;
+    std::unique_ptr<GuestOs> os;
+
+    void
+    SetUp() override
+    {
+        host_cfg.ramBytes = 512 * MiB;
+        host_cfg.reserveBytes = 0;
+        hv = std::make_unique<KvmHypervisor>(host_cfg, stats);
+        VmId vm = hv->createVm("vm", 128 * MiB, 0);
+        os = std::make_unique<GuestOs>(*hv, vm, "vm", 1234);
+    }
+};
+
+} // namespace
+
+TEST_F(GuestFixture, SpawnAssignsSequentialPids)
+{
+    EXPECT_EQ(os->process(0).name, "[kernel]");
+    Pid p1 = os->spawn("a", false);
+    Pid p2 = os->spawn("b", true);
+    EXPECT_EQ(p1, 1u);
+    EXPECT_EQ(p2, 2u);
+    EXPECT_TRUE(os->process(p2).isJava);
+}
+
+TEST_F(GuestFixture, AnonMemoryIsDemandPaged)
+{
+    Pid pid = os->spawn("p", false);
+    Vma *vma = os->mmapAnon(pid, 64 * KiB, MemCategory::JvmWork, "x");
+    EXPECT_EQ(vma->numPages, 16u);
+    EXPECT_EQ(os->gfnsAllocated(), 0u);
+    EXPECT_EQ(os->readWord(vma, 3, 0), 0u); // read doesn't populate
+    EXPECT_EQ(os->gfnsAllocated(), 0u);
+
+    os->writeWord(vma, 3, 1, 99);
+    EXPECT_EQ(os->gfnsAllocated(), 1u);
+    EXPECT_EQ(os->readWord(vma, 3, 1), 99u);
+}
+
+TEST_F(GuestFixture, AslrMakesLayoutsDiffer)
+{
+    Pid p1 = os->spawn("p1", false);
+    Pid p2 = os->spawn("p2", false);
+    Vma *v1 = os->mmapAnon(p1, 64 * KiB, MemCategory::JvmWork, "x");
+    Vma *v2 = os->mmapAnon(p2, 64 * KiB, MemCategory::JvmWork, "x");
+    EXPECT_NE(v1->startVpn, v2->startVpn);
+}
+
+TEST_F(GuestFixture, FileMmapAliasesPageCache)
+{
+    FileImage f = FileImage::shared("/opt/lib.so", 32 * KiB);
+    Pid p1 = os->spawn("p1", false);
+    Pid p2 = os->spawn("p2", false);
+    Vma *v1 = os->mmapFile(p1, f, MemCategory::Code);
+    Vma *v2 = os->mmapFile(p2, f, MemCategory::Code);
+
+    os->touch(v1, 2);
+    os->touch(v2, 2);
+    // Both processes and the kernel cache hold the same guest frame:
+    // only one cache page was created.
+    EXPECT_EQ(os->pageCachePages(), 1u);
+    const Gfn g1 = os->process(p1).pageTable.at(v1->vpnAt(2));
+    const Gfn g2 = os->process(p2).pageTable.at(v2->vpnAt(2));
+    EXPECT_EQ(g1, g2);
+    // Content comes from the file image.
+    EXPECT_EQ(os->readWord(v1, 2, 0), f.pageContent(2).word[0]);
+}
+
+TEST_F(GuestFixture, SharedFilesHaveEqualContentAcrossGuests)
+{
+    VmId vm2 = hv->createVm("vm2", 128 * MiB, 0);
+    GuestOs os2(*hv, vm2, "vm2", 9999);
+
+    FileImage f = FileImage::shared("/opt/lib.so", 16 * KiB);
+    Gfn a = os->pageCacheGet(f, 0);
+    Gfn b = os2.pageCacheGet(f, 0);
+    EXPECT_EQ(*hv->peek(os->vmId(), a), *hv->peek(vm2, b));
+
+    FileImage pa = FileImage::perVm("/var/log/m", 16 * KiB, os->seed());
+    FileImage pb = FileImage::perVm("/var/log/m", 16 * KiB, os2.seed());
+    Gfn c = os->pageCacheGet(pa, 0);
+    Gfn d = os2.pageCacheGet(pb, 0);
+    EXPECT_NE(*hv->peek(os->vmId(), c), *hv->peek(vm2, d));
+}
+
+TEST_F(GuestFixture, DiscardFreesAnonButNotFilePages)
+{
+    Pid pid = os->spawn("p", false);
+    Vma *anon = os->mmapAnon(pid, 16 * KiB, MemCategory::JavaHeap, "h");
+    os->writeWord(anon, 0, 0, 1);
+    const std::uint64_t gfns = os->gfnsAllocated();
+    os->discard(anon, 0);
+    EXPECT_EQ(os->gfnsAllocated(), gfns - 1);
+
+    FileImage f = FileImage::shared("/f", 16 * KiB);
+    Vma *file = os->mmapFile(pid, f, MemCategory::Code);
+    os->touch(file, 0);
+    const std::uint64_t gfns2 = os->gfnsAllocated();
+    os->discard(file, 0); // only unmaps; cache retains the page
+    EXPECT_EQ(os->gfnsAllocated(), gfns2);
+    EXPECT_EQ(os->pageCachePages(), 1u);
+}
+
+TEST_F(GuestFixture, MunmapReleasesRange)
+{
+    Pid pid = os->spawn("p", false);
+    Vma *vma = os->mmapAnon(pid, 64 * KiB, MemCategory::JvmWork, "x");
+    for (std::uint64_t i = 0; i < vma->numPages; ++i)
+        os->writeWord(vma, i, 0, i + 1);
+    EXPECT_EQ(os->gfnsAllocated(), 16u);
+    os->munmap(pid, vma);
+    EXPECT_EQ(os->gfnsAllocated(), 0u);
+    EXPECT_TRUE(os->process(pid).vmas.empty());
+    hv->checkConsistency();
+}
+
+TEST_F(GuestFixture, GfnReuseAfterFree)
+{
+    Pid pid = os->spawn("p", false);
+    Vma *vma = os->mmapAnon(pid, 16 * KiB, MemCategory::JvmWork, "x");
+    os->writeWord(vma, 0, 0, 1);
+    const Gfn g = os->process(pid).pageTable.at(vma->vpnAt(0));
+    os->discard(vma, 0);
+    os->writeWord(vma, 1, 0, 2);
+    const Gfn g2 = os->process(pid).pageTable.at(vma->vpnAt(1));
+    EXPECT_EQ(g, g2); // freed gfn recycled
+}
+
+TEST_F(GuestFixture, BootKernelPopulatesExpectedSizes)
+{
+    KernelConfig cfg;
+    cfg.textBytes = 2 * MiB;
+    cfg.dataBytes = 1 * MiB;
+    cfg.slabBytes = 1 * MiB;
+    cfg.sharedBootCacheBytes = 4 * MiB;
+    cfg.privateBootCacheBytes = 2 * MiB;
+    os->bootKernel(cfg);
+
+    EXPECT_EQ(os->pageCachePages(), bytesToPages(6 * MiB));
+    // text+data+slab+cache all resident.
+    EXPECT_EQ(hv->vm(os->vmId()).residentPages, bytesToPages(10 * MiB));
+}
+
+TEST_F(GuestFixture, KernelTextIdenticalAcrossGuestsDataNot)
+{
+    VmId vm2 = hv->createVm("vm2", 128 * MiB, 0);
+    GuestOs os2(*hv, vm2, "vm2", 777);
+
+    KernelConfig cfg;
+    cfg.textBytes = 64 * KiB;
+    cfg.dataBytes = 64 * KiB;
+    cfg.slabBytes = 64 * KiB;
+    cfg.sharedBootCacheBytes = 64 * KiB;
+    cfg.privateBootCacheBytes = 64 * KiB;
+    os->bootKernel(cfg);
+    os2.bootKernel(cfg);
+
+    // Compare contents by category.
+    auto page_of = [&](GuestOs &g, const char *vma_name,
+                       std::uint64_t idx) -> const PageData * {
+        for (const auto &vma : g.process(0).vmas) {
+            if (vma->name == vma_name) {
+                auto it = g.process(0).pageTable.find(vma->vpnAt(idx));
+                if (it == g.process(0).pageTable.end())
+                    return nullptr;
+                return g.hv().peek(g.vmId(), it->second);
+            }
+        }
+        return nullptr;
+    };
+    ASSERT_NE(page_of(*os, "kernel-text", 0), nullptr);
+    EXPECT_EQ(*page_of(*os, "kernel-text", 0),
+              *page_of(os2, "kernel-text", 0));
+    EXPECT_NE(*page_of(*os, "kernel-data", 0),
+              *page_of(os2, "kernel-data", 0));
+    EXPECT_NE(*page_of(*os, "slab", 0), *page_of(os2, "slab", 0));
+}
+
+TEST_F(GuestFixture, TouchPageCacheKeepsPagesWarmAndFaultsSwapped)
+{
+    // Fill the cache, then verify random cache touches refresh LRU
+    // ages (no faults on a roomy host).
+    FileImage f = FileImage::shared("/data", 64 * KiB);
+    os->readFile(f);
+    const std::uint64_t faults_before = hv->majorFaults(os->vmId());
+    os->touchPageCache(100);
+    EXPECT_EQ(hv->majorFaults(os->vmId()), faults_before);
+
+    // On a tiny host, touching evicted cache pages must fault them in.
+    StatSet s2;
+    hv::HostConfig tiny;
+    tiny.ramBytes = 8 * pageSize;
+    tiny.reserveBytes = 0;
+    KvmHypervisor small_hv(tiny, s2);
+    VmId id = small_hv.createVm("vm", 1 * MiB, 0);
+    GuestOs small_os(small_hv, id, "vm", 5);
+    small_os.readFile(FileImage::shared("/data", 16 * pageSize));
+    EXPECT_EQ(small_hv.vm(id).swappedPages, 8u);
+    small_os.touchPageCache(64);
+    EXPECT_GT(small_hv.majorFaults(id), 0u);
+    small_hv.checkConsistency();
+}
+
+TEST_F(GuestFixture, DaemonTextSharesAnonDoesNot)
+{
+    VmId vm2 = hv->createVm("vm2", 128 * MiB, 0);
+    GuestOs os2(*hv, vm2, "vm2", 31337);
+
+    os->spawnDaemon("sshd", 64 * KiB, 64 * KiB);
+    os2.spawnDaemon("sshd", 64 * KiB, 64 * KiB);
+
+    // TPS (collapse) must find the text pages identical across the two
+    // guests, and the anon heaps different.
+    const std::uint64_t before = hv->residentFrames();
+    const std::uint64_t merged = hv->collapseIdenticalPages();
+    EXPECT_EQ(merged, bytesToPages(64 * KiB));
+    EXPECT_EQ(hv->residentFrames(), before - merged);
+}

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit tests for the hypervisor: translation, demand paging, COW,
+ * TPS merge primitives, host swap.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "base/units.hh"
+#include "hv/hypervisor.hh"
+
+using namespace jtps;
+using hv::HostConfig;
+using hv::KvmHypervisor;
+using hv::PageState;
+using hv::PowerVmHypervisor;
+using mem::PageData;
+
+namespace
+{
+
+HostConfig
+smallHost(Bytes ram = 64 * MiB)
+{
+    HostConfig cfg;
+    cfg.ramBytes = ram;
+    cfg.reserveBytes = 0;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Hypervisor, DemandAllocationOnWrite)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId vm = hv.createVm("vm", 16 * MiB, 0);
+
+    EXPECT_EQ(hv.translate(vm, 5), invalidFrame);
+    EXPECT_EQ(hv.readWord(vm, 5, 0), 0u); // no allocation on read
+    EXPECT_EQ(hv.residentFrames(), 0u);
+
+    hv.writeWord(vm, 5, 2, 42);
+    EXPECT_NE(hv.translate(vm, 5), invalidFrame);
+    EXPECT_EQ(hv.readWord(vm, 5, 2), 42u);
+    EXPECT_EQ(hv.readWord(vm, 5, 0), 0u); // rest of page is zero
+    EXPECT_EQ(hv.vm(vm).residentPages, 1u);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, WritePageThenPeek)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId vm = hv.createVm("vm", 16 * MiB, 0);
+
+    PageData d = PageData::filled(9, 9);
+    hv.writePage(vm, 3, d);
+    const PageData *p = hv.peek(vm, 3);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(*p, d);
+    EXPECT_EQ(hv.peek(vm, 4), nullptr);
+}
+
+TEST(Hypervisor, VmOverheadIsPinned)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId vm = hv.createVm("vm", 8 * MiB, 2 * MiB);
+    EXPECT_EQ(hv.vm(vm).overheadFrames.size(), bytesToPages(2 * MiB));
+    EXPECT_EQ(hv.residentFrames(), bytesToPages(2 * MiB));
+    for (Hfn h : hv.vm(vm).overheadFrames)
+        EXPECT_TRUE(hv.frames().frame(h).pinned);
+}
+
+TEST(Hypervisor, OverheadContentDiffersPerVm)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 4 * MiB, 1 * MiB);
+    VmId b = hv.createVm("b", 4 * MiB, 1 * MiB);
+    Hfn ha = hv.vm(a).overheadFrames[0];
+    Hfn hb = hv.vm(b).overheadFrames[0];
+    EXPECT_NE(hv.frames().frame(ha).data, hv.frames().frame(hb).data);
+}
+
+TEST(Hypervisor, KsmMergeSharesAndCowUnshares)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB, 0);
+    VmId b = hv.createVm("b", 8 * MiB, 0);
+
+    PageData d = PageData::filled(1, 2);
+    hv.writePage(a, 0, d);
+    hv.writePage(b, 0, d);
+    EXPECT_NE(hv.translate(a, 0), hv.translate(b, 0));
+
+    Hfn stable = hv.ksmMakeStable(a, 0);
+    ASSERT_NE(stable, invalidFrame);
+    EXPECT_TRUE(hv.ksmMergeInto(stable, b, 0));
+    EXPECT_EQ(hv.translate(a, 0), hv.translate(b, 0));
+    EXPECT_EQ(hv.frames().frame(stable).refcount, 2u);
+    hv.checkConsistency();
+
+    // Writing through b must COW: b sees its new value, a is untouched.
+    hv.writeWord(b, 0, 0, 777);
+    EXPECT_NE(hv.translate(a, 0), hv.translate(b, 0));
+    EXPECT_EQ(hv.readWord(b, 0, 0), 777u);
+    EXPECT_EQ(*hv.peek(a, 0), d);
+    // The rest of b's page kept the old content.
+    EXPECT_EQ(hv.readWord(b, 0, 1), d.word[1]);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, MergeRejectsDifferentContent)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB, 0);
+    VmId b = hv.createVm("b", 8 * MiB, 0);
+    hv.writePage(a, 0, PageData::filled(1, 1));
+    hv.writePage(b, 0, PageData::filled(2, 2));
+    Hfn stable = hv.ksmMakeStable(a, 0);
+    EXPECT_FALSE(hv.ksmMergeInto(stable, b, 0));
+    EXPECT_NE(hv.translate(a, 0), hv.translate(b, 0));
+}
+
+TEST(Hypervisor, MergeRejectsNonResidentAndSelf)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB, 0);
+    hv.writePage(a, 0, PageData::filled(1, 1));
+    Hfn stable = hv.ksmMakeStable(a, 0);
+    EXPECT_FALSE(hv.ksmMergeInto(stable, a, 0)); // already that frame
+    EXPECT_FALSE(hv.ksmMergeInto(stable, a, 1)); // not resident
+}
+
+TEST(Hypervisor, WriteToStableFrameCowsEvenIfSoleMapping)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB, 0);
+    hv.writePage(a, 0, PageData::filled(3, 3));
+    Hfn stable = hv.ksmMakeStable(a, 0);
+    EXPECT_TRUE(hv.frames().frame(stable).ksmStable);
+    const std::uint64_t cows_before = stats.get("hv.cow_breaks");
+    hv.writeWord(a, 0, 0, 1);
+    // A KSM page is never written in place: the write must COW onto a
+    // fresh anonymous frame (the freed stable frame's number may be
+    // recycled, but the KSM flag is gone).
+    EXPECT_EQ(stats.get("hv.cow_breaks"), cows_before + 1);
+    EXPECT_FALSE(hv.frames().frame(hv.translate(a, 0)).ksmStable);
+    EXPECT_EQ(hv.readWord(a, 0, 0), 1u);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, DiscardFreesFrame)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB, 0);
+    hv.writePage(a, 7, PageData::filled(1, 1));
+    EXPECT_EQ(hv.vm(a).residentPages, 1u);
+    hv.discardPage(a, 7);
+    EXPECT_EQ(hv.vm(a).residentPages, 0u);
+    EXPECT_EQ(hv.residentFrames(), 0u);
+    EXPECT_EQ(hv.translate(a, 7), invalidFrame);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, DiscardOfSharedFrameLeavesOtherMapping)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB, 0);
+    VmId b = hv.createVm("b", 8 * MiB, 0);
+    PageData d = PageData::filled(4, 4);
+    hv.writePage(a, 0, d);
+    hv.writePage(b, 0, d);
+    Hfn stable = hv.ksmMakeStable(a, 0);
+    hv.ksmMergeInto(stable, b, 0);
+
+    hv.discardPage(a, 0);
+    EXPECT_EQ(hv.translate(b, 0), stable);
+    EXPECT_EQ(*hv.peek(b, 0), d);
+    EXPECT_EQ(hv.frames().frame(stable).refcount, 1u);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, EvictionAndMajorFault)
+{
+    StatSet stats;
+    // Host with room for only 8 frames.
+    KvmHypervisor hv(smallHost(8 * pageSize), stats);
+    VmId a = hv.createVm("a", 1 * MiB, 0);
+
+    // Fill the host, then keep writing: the host must evict.
+    for (Gfn g = 0; g < 12; ++g)
+        hv.writePage(a, g, PageData::filled(7, g));
+    EXPECT_EQ(hv.residentFrames(), 8u);
+    EXPECT_EQ(hv.vm(a).swappedPages, 4u);
+    EXPECT_GT(stats.get("host.evictions"), 0u);
+    hv.checkConsistency();
+
+    // Touch a swapped page: major fault, content restored.
+    std::uint64_t faults_before = hv.majorFaults(a);
+    bool faulted = false;
+    for (Gfn g = 0; g < 12; ++g) {
+        if (hv.translate(a, g) == invalidFrame) {
+            EXPECT_EQ(hv.readWord(a, g, 3),
+                      PageData::filled(7, g).word[3]);
+            faulted = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(faulted);
+    EXPECT_EQ(hv.majorFaults(a), faults_before + 1);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, SwapInRestoresSharingStructure)
+{
+    StatSet stats;
+    // 4 host frames: 1 KSM-shared frame + 3 pinned VM-overhead frames.
+    // The next allocation can only evict the shared frame.
+    KvmHypervisor hv(smallHost(4 * pageSize), stats);
+    VmId a = hv.createVm("a", 1 * MiB, 0);
+    VmId b = hv.createVm("b", 1 * MiB, 0);
+
+    PageData d = PageData::filled(11, 11);
+    hv.writePage(a, 0, d);
+    hv.writePage(b, 0, d);
+    Hfn stable = hv.ksmMakeStable(a, 0);
+    ASSERT_TRUE(hv.ksmMergeInto(stable, b, 0));
+    EXPECT_EQ(hv.residentFrames(), 1u);
+
+    VmId c = hv.createVm("c", 1 * MiB, 3 * pageSize); // pinned filler
+    (void)c;
+    EXPECT_EQ(hv.residentFrames(), 4u);
+
+    // Fresh allocation: only the shared frame is evictable.
+    hv.writePage(a, 1, PageData::filled(1, 1));
+    EXPECT_EQ(hv.translate(a, 0), invalidFrame);
+    EXPECT_EQ(hv.translate(b, 0), invalidFrame);
+    EXPECT_EQ(hv.vm(a).swappedPages, 1u);
+    EXPECT_EQ(hv.vm(b).swappedPages, 1u);
+    hv.checkConsistency();
+
+    // Fault the shared page back in through a: both mappings must come
+    // back, pointing at one frame with the original content.
+    EXPECT_EQ(hv.readWord(a, 0, 0), d.word[0]);
+    EXPECT_NE(hv.translate(a, 0), invalidFrame);
+    EXPECT_EQ(hv.translate(a, 0), hv.translate(b, 0));
+    EXPECT_EQ(hv.majorFaults(a), 1u);
+    EXPECT_EQ(hv.majorFaults(b), 0u);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, CompressedSwapTierServesFastRefaults)
+{
+    StatSet stats;
+    hv::HostConfig cfg = smallHost(16 * pageSize);
+    // Pool of 2 pages -> capacity for 6 compressed slots, and only
+    // 14 usable frames.
+    cfg.compressedSwapPoolBytes = 2 * pageSize;
+    KvmHypervisor hv(cfg, stats);
+    VmId a = hv.createVm("a", 1 * MiB, 0);
+
+    for (Gfn g = 0; g < 20; ++g)
+        hv.writePage(a, g, PageData::filled(9, g));
+    // 20 pages vs 14 frames: 6 swapped, all fitting the RAM tier.
+    EXPECT_EQ(hv.vm(a).swappedPages, 6u);
+    EXPECT_EQ(hv.swap().ramSlots(), 6u);
+
+    // Fault one back: it must be counted as a RAM-tier fault.
+    std::uint64_t ram_before = hv.majorFaultsRam(a);
+    for (Gfn g = 0; g < 20; ++g) {
+        if (hv.translate(a, g) == invalidFrame) {
+            EXPECT_EQ(hv.readWord(a, g, 1),
+                      PageData::filled(9, g).word[1]);
+            break;
+        }
+    }
+    EXPECT_EQ(hv.majorFaultsRam(a), ram_before + 1);
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, SwapOverflowsToDiskWhenPoolFull)
+{
+    StatSet stats;
+    hv::HostConfig cfg = smallHost(16 * pageSize);
+    cfg.compressedSwapPoolBytes = 1 * pageSize; // 3 compressed slots
+    KvmHypervisor hv(cfg, stats);
+    VmId a = hv.createVm("a", 1 * MiB, 0);
+    for (Gfn g = 0; g < 25; ++g)
+        hv.writePage(a, g, PageData::filled(10, g));
+    // 25 pages vs 15 frames: 10 swapped; 3 in RAM, 7 on disk.
+    EXPECT_EQ(hv.vm(a).swappedPages, 10u);
+    EXPECT_EQ(hv.swap().ramSlots(), 3u);
+    EXPECT_EQ(hv.swap().used(), 10u);
+}
+
+TEST(Hypervisor, CollapseMergesAllDuplicates)
+{
+    StatSet stats;
+    PowerVmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB);
+    VmId b = hv.createVm("b", 8 * MiB);
+    VmId c = hv.createVm("c", 8 * MiB);
+
+    PageData shared = PageData::filled(1, 1);
+    for (VmId v : {a, b, c}) {
+        hv.writePage(v, 0, shared);
+        hv.writePage(v, 1, PageData::filled(100 + v, v)); // unique
+    }
+    EXPECT_EQ(hv.residentFrames(), 6u);
+    std::uint64_t merged = hv.runTps();
+    EXPECT_EQ(merged, 2u);
+    EXPECT_EQ(hv.residentFrames(), 4u);
+    EXPECT_EQ(hv.translate(a, 0), hv.translate(b, 0));
+    EXPECT_EQ(hv.translate(b, 0), hv.translate(c, 0));
+    hv.checkConsistency();
+}
+
+TEST(Hypervisor, CollapseIsTransparentToReaders)
+{
+    StatSet stats;
+    PowerVmHypervisor hv(smallHost(), stats);
+    VmId a = hv.createVm("a", 8 * MiB);
+    VmId b = hv.createVm("b", 8 * MiB);
+    PageData d = PageData::filled(2, 2);
+    hv.writePage(a, 5, d);
+    hv.writePage(b, 9, d);
+    hv.runTps();
+    EXPECT_EQ(hv.readWord(a, 5, 4), d.word[4]);
+    EXPECT_EQ(hv.readWord(b, 9, 4), d.word[4]);
+    // And to writers, via COW.
+    hv.writeWord(a, 5, 4, 123);
+    EXPECT_EQ(hv.readWord(a, 5, 4), 123u);
+    EXPECT_EQ(hv.readWord(b, 9, 4), d.word[4]);
+}
+
+TEST(Hypervisor, ConsistencyAcrossMixedOps)
+{
+    StatSet stats;
+    KvmHypervisor hv(smallHost(48 * pageSize), stats);
+    VmId a = hv.createVm("a", 1 * MiB, 0);
+    VmId b = hv.createVm("b", 1 * MiB, 0);
+
+    for (int round = 0; round < 4; ++round) {
+        for (Gfn g = 0; g < 30; ++g) {
+            hv.writePage(a, g, PageData::filled(round, g % 5));
+            hv.writePage(b, g, PageData::filled(round, g % 5));
+        }
+        hv.collapseIdenticalPages();
+        for (Gfn g = 0; g < 30; g += 3)
+            hv.writeWord(a, g, 0, round * 100 + g);
+        for (Gfn g = 0; g < 30; g += 7)
+            hv.discardPage(b, g);
+        hv.checkConsistency();
+    }
+}

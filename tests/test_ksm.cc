@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Unit tests for the KSM scanner: calm filter, stable/unstable trees,
+ * zero-page behaviour, tuning and CPU model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+#include "base/units.hh"
+#include "hv/hypervisor.hh"
+#include "ksm/ksm_scanner.hh"
+#include "sim/event_queue.hh"
+
+using namespace jtps;
+using hv::KvmHypervisor;
+using ksm::KsmConfig;
+using ksm::KsmScanner;
+using mem::PageData;
+
+namespace
+{
+
+struct KsmFixture : ::testing::Test
+{
+    StatSet stats;
+    hv::HostConfig host_cfg;
+    std::unique_ptr<KvmHypervisor> hv;
+    std::unique_ptr<KsmScanner> scanner;
+
+    void
+    SetUp() override
+    {
+        host_cfg.ramBytes = 32 * MiB;
+        host_cfg.reserveBytes = 0;
+        hv = std::make_unique<KvmHypervisor>(host_cfg, stats);
+        KsmConfig cfg;
+        cfg.pagesToScan = 100000; // whole memory per batch in tests
+        scanner = std::make_unique<KsmScanner>(*hv, cfg, stats);
+    }
+};
+
+} // namespace
+
+TEST_F(KsmFixture, MergesIdenticalCalmPagesAfterTwoPasses)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    PageData d = PageData::filled(5, 5);
+    hv->writePage(a, 3, d);
+    hv->writePage(b, 8, d);
+
+    // Pass 1: checksums recorded, nothing merged (not yet calm).
+    scanner->scanBatch();
+    EXPECT_EQ(scanner->pagesShared(), 0u);
+
+    // Pass 2: both pages calm and identical -> merged.
+    scanner->scanBatch();
+    EXPECT_EQ(scanner->pagesShared(), 1u);
+    EXPECT_EQ(scanner->pagesSharing(), 1u);
+    EXPECT_EQ(hv->translate(a, 3), hv->translate(b, 8));
+    EXPECT_EQ(scanner->savedBytes(), pageSize);
+    hv->checkConsistency();
+}
+
+TEST_F(KsmFixture, ChurningPagesAreNeverMerged)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    for (int round = 0; round < 6; ++round) {
+        // Identical across VMs at any instant, but changing every
+        // round: the calm filter must reject them.
+        PageData d = PageData::filled(99, round);
+        hv->writePage(a, 0, d);
+        hv->writePage(b, 0, d);
+        scanner->scanBatch();
+    }
+    EXPECT_EQ(scanner->pagesShared(), 0u);
+    EXPECT_GT(stats.get("ksm.not_calm"), 0u);
+}
+
+TEST_F(KsmFixture, StableTreeMergesLateComers)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    VmId c = hv->createVm("c", 1 * MiB, 0);
+    PageData d = PageData::filled(7, 7);
+    hv->writePage(a, 0, d);
+    hv->writePage(b, 0, d);
+    scanner->scanBatch();
+    scanner->scanBatch();
+    ASSERT_EQ(scanner->pagesShared(), 1u);
+
+    // A third VM writes the same content later: it must join the
+    // existing stable frame via the stable tree.
+    hv->writePage(c, 0, d);
+    scanner->scanBatch();
+    scanner->scanBatch();
+    EXPECT_EQ(scanner->pagesShared(), 1u);
+    EXPECT_EQ(scanner->pagesSharing(), 2u);
+    EXPECT_EQ(hv->translate(a, 0), hv->translate(c, 0));
+    EXPECT_GT(stats.get("ksm.stable_merges"), 0u);
+}
+
+TEST_F(KsmFixture, CowBreakReducesSharingAndPageCanRemerge)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    PageData d = PageData::filled(1, 1);
+    hv->writePage(a, 0, d);
+    hv->writePage(b, 0, d);
+    scanner->runToQuiescence();
+    ASSERT_EQ(scanner->pagesSharing(), 1u);
+
+    // b diverges...
+    hv->writeWord(b, 0, 0, 42);
+    EXPECT_EQ(scanner->pagesSharing(), 0u);
+    // ...then writes the original content back: after two more passes
+    // it must re-merge into the still-existing stable frame.
+    hv->writeWord(b, 0, 0, d.word[0]);
+    scanner->scanBatch();
+    scanner->scanBatch();
+    scanner->scanBatch();
+    EXPECT_EQ(scanner->pagesSharing(), 1u);
+    hv->checkConsistency();
+}
+
+TEST_F(KsmFixture, ZeroPagesAllMergeToOneFrame)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    for (Gfn g = 0; g < 20; ++g) {
+        hv->writePage(a, g, PageData::zero());
+        hv->writePage(b, g, PageData::zero());
+    }
+    scanner->runToQuiescence();
+    EXPECT_EQ(scanner->pagesShared(), 1u);
+    EXPECT_EQ(scanner->pagesSharing(), 39u);
+    EXPECT_EQ(hv->residentFrames(), 1u);
+}
+
+TEST_F(KsmFixture, HugeBackedPagesAreNeverMerged)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    PageData d = PageData::filled(8, 8);
+    hv->writePage(a, 0, d);
+    hv->writePage(b, 0, d);
+    hv->setHugePage(a, 0, true);
+
+    scanner->runToQuiescence();
+    EXPECT_EQ(scanner->pagesSharing(), 0u);
+    EXPECT_GT(stats.get("ksm.skipped_huge"), 0u);
+
+    // Splitting the huge page (khugepaged undo) makes it mergeable.
+    hv->setHugePage(a, 0, false);
+    scanner->scanBatch();
+    scanner->scanBatch();
+    scanner->scanBatch();
+    EXPECT_EQ(scanner->pagesSharing(), 1u);
+}
+
+TEST_F(KsmFixture, MaxPageSharingFormsChains)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+
+    KsmConfig cfg;
+    cfg.pagesToScan = 100000;
+    cfg.maxPageSharing = 4;
+    KsmScanner limited(*hv, cfg, stats);
+
+    for (Gfn g = 0; g < 20; ++g) {
+        hv->writePage(a, g, PageData::zero());
+        hv->writePage(b, g, PageData::zero());
+    }
+    limited.runToQuiescence();
+
+    // 40 identical pages with a cap of 4 mappings per frame: at least
+    // ten duplicate stable frames, none over the cap.
+    EXPECT_GE(limited.pagesShared(), 10u);
+    hv->frames().forEachResident([&](Hfn, const mem::Frame &f) {
+        if (f.ksmStable) {
+            EXPECT_LE(f.refcount, 4u);
+        }
+    });
+    // Dedup still saved the same total pages.
+    EXPECT_EQ(limited.pagesSharing() + limited.pagesShared(), 40u);
+    hv->checkConsistency();
+}
+
+TEST_F(KsmFixture, StaleStableNodesArePruned)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    PageData d = PageData::filled(4, 4);
+    hv->writePage(a, 0, d);
+    hv->writePage(b, 0, d);
+    scanner->runToQuiescence();
+    ASSERT_EQ(scanner->pagesShared(), 1u);
+
+    // Both mappings vanish; the stable node goes stale.
+    hv->discardPage(a, 0);
+    hv->discardPage(b, 0);
+    EXPECT_EQ(scanner->pagesShared(), 0u);
+
+    // New identical pages must still merge (fresh node replaces stale).
+    hv->writePage(a, 1, d);
+    hv->writePage(b, 1, d);
+    scanner->scanBatch();
+    scanner->scanBatch();
+    scanner->scanBatch();
+    EXPECT_EQ(scanner->pagesSharing(), 1u);
+}
+
+TEST_F(KsmFixture, UnmergeableVmIsSkipped)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    hv->vm(b).mergeable = false;
+    PageData d = PageData::filled(6, 6);
+    hv->writePage(a, 0, d);
+    hv->writePage(b, 0, d);
+    scanner->runToQuiescence();
+    EXPECT_EQ(scanner->pagesSharing(), 0u);
+}
+
+TEST_F(KsmFixture, BatchSizeBoundsWork)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    (void)a;
+    scanner->setPagesToScan(16);
+    const std::uint64_t visited = scanner->scanBatch();
+    EXPECT_LE(visited, 16u);
+}
+
+TEST_F(KsmFixture, CpuUsageModelMatchesPaper)
+{
+    // Paper §II.C: ~25% CPU at 10,000 pages/100ms, ~2% at 1,000.
+    KsmConfig cfg;
+    cfg.pagesToScan = 10000;
+    cfg.sleepMillisecs = 100;
+    cfg.scanCostUs = 2.5;
+    KsmScanner warm(*hv, cfg, stats);
+    EXPECT_NEAR(warm.cpuUsage(), 0.20, 0.05);
+
+    cfg.pagesToScan = 1000;
+    KsmScanner steady(*hv, cfg, stats);
+    EXPECT_NEAR(steady.cpuUsage(), 0.025, 0.01);
+}
+
+TEST_F(KsmFixture, AttachScansPeriodically)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    PageData d = PageData::filled(2, 2);
+    hv->writePage(a, 0, d);
+    hv->writePage(b, 0, d);
+
+    sim::EventQueue queue;
+    scanner->setSleepMillisecs(100);
+    scanner->attach(queue);
+    queue.runUntil(1000);
+    EXPECT_EQ(scanner->pagesSharing(), 1u);
+
+    scanner->detach();
+    queue.runUntil(2000);
+    EXPECT_EQ(queue.pending(), 0u);
+}
+
+TEST_F(KsmFixture, QuiescenceDetectsConvergence)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    for (Gfn g = 0; g < 10; ++g) {
+        hv->writePage(a, g, PageData::filled(3, g));
+        hv->writePage(b, g, PageData::filled(3, g));
+    }
+    const std::uint64_t merged = scanner->runToQuiescence();
+    EXPECT_EQ(merged, 10u);
+    EXPECT_EQ(scanner->pagesSharing(), 10u);
+    // A second call must find nothing new.
+    EXPECT_EQ(scanner->runToQuiescence(), 0u);
+}

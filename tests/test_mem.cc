@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the memory substrate: page content, frame table, swap.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "mem/frame_table.hh"
+#include "mem/page_data.hh"
+#include "mem/swap_device.hh"
+
+using namespace jtps;
+using mem::Frame;
+using mem::FrameTable;
+using mem::Mapping;
+using mem::PageData;
+using mem::SwapDevice;
+
+TEST(PageData, ZeroProperties)
+{
+    PageData z = PageData::zero();
+    EXPECT_TRUE(z.isZero());
+    EXPECT_EQ(z, PageData::zero());
+    PageData f = PageData::filled(1, 2);
+    EXPECT_FALSE(f.isZero());
+    EXPECT_NE(z, f);
+}
+
+TEST(PageData, FilledIsDeterministicPerTagAndSalt)
+{
+    EXPECT_EQ(PageData::filled(10, 20), PageData::filled(10, 20));
+    EXPECT_NE(PageData::filled(10, 20), PageData::filled(10, 21));
+    EXPECT_NE(PageData::filled(10, 20), PageData::filled(11, 20));
+}
+
+TEST(PageData, ChecksumTracksContent)
+{
+    PageData a = PageData::filled(1, 1);
+    PageData b = a;
+    EXPECT_EQ(a.checksum(), b.checksum());
+    b.word[3] ^= 1;
+    EXPECT_NE(a.checksum(), b.checksum());
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(PageData, OrderingIsStrictWeak)
+{
+    PageData a = PageData::zero();
+    PageData b = PageData::filled(1, 1);
+    EXPECT_TRUE((a < b) != (b < a));
+    EXPECT_FALSE(a < a);
+}
+
+TEST(FrameTable, AllocAndFree)
+{
+    FrameTable ft(16);
+    Mapping m{0, 7};
+    Hfn h = ft.alloc(m, PageData::filled(1, 1));
+    ASSERT_NE(h, invalidFrame);
+    EXPECT_TRUE(ft.isAllocated(h));
+    EXPECT_EQ(ft.resident(), 1u);
+    EXPECT_EQ(ft.frame(h).refcount, 1u);
+    EXPECT_EQ(ft.frame(h).primary, m);
+
+    EXPECT_TRUE(ft.removeMapping(h, m));
+    EXPECT_FALSE(ft.isAllocated(h));
+    EXPECT_EQ(ft.resident(), 0u);
+    ft.checkConsistency();
+}
+
+TEST(FrameTable, CapacityLimit)
+{
+    FrameTable ft(2);
+    EXPECT_NE(ft.alloc({0, 0}, PageData::zero()), invalidFrame);
+    EXPECT_NE(ft.alloc({0, 1}, PageData::zero()), invalidFrame);
+    EXPECT_EQ(ft.alloc({0, 2}, PageData::zero()), invalidFrame);
+    EXPECT_EQ(ft.freeFrames(), 0u);
+}
+
+TEST(FrameTable, SharedMappingsRefcount)
+{
+    FrameTable ft(8);
+    Hfn h = ft.alloc({0, 1}, PageData::filled(3, 3));
+    ft.addMapping(h, {1, 9});
+    ft.addMapping(h, {2, 4});
+    EXPECT_EQ(ft.frame(h).refcount, 3u);
+    EXPECT_EQ(ft.frame(h).mappings().size(), 3u);
+    ft.checkConsistency();
+
+    // Removing the primary promotes an extra mapping.
+    EXPECT_FALSE(ft.removeMapping(h, {0, 1}));
+    EXPECT_EQ(ft.frame(h).refcount, 2u);
+    EXPECT_FALSE(ft.removeMapping(h, {2, 4}));
+    EXPECT_TRUE(ft.removeMapping(h, {1, 9}));
+    ft.checkConsistency();
+}
+
+TEST(FrameTable, FreedFramesAreReused)
+{
+    FrameTable ft(4);
+    Hfn a = ft.alloc({0, 0}, PageData::zero());
+    ft.removeMapping(a, {0, 0});
+    Hfn b = ft.alloc({0, 1}, PageData::zero());
+    EXPECT_EQ(a, b); // free list reuse
+}
+
+TEST(FrameTable, PinnedFramesNeverVictims)
+{
+    FrameTable ft(4);
+    Hfn p = ft.allocPinned(PageData::filled(1, 1));
+    ASSERT_NE(p, invalidFrame);
+    // Only the pinned frame exists: no victim must be found.
+    EXPECT_EQ(ft.pickVictim(true), invalidFrame);
+    ft.freePinned(p);
+    EXPECT_FALSE(ft.isAllocated(p));
+}
+
+TEST(FrameTable, LruPrefersLeastRecentlyTouched)
+{
+    FrameTable ft(4);
+    Hfn a = ft.alloc({0, 0}, PageData::zero());
+    Hfn b = ft.alloc({0, 1}, PageData::zero());
+    // a was allocated first, then b: a is older.
+    EXPECT_EQ(ft.pickVictim(false), a);
+    // Touch a: now b is the oldest.
+    ft.touch(a);
+    EXPECT_EQ(ft.pickVictim(false), b);
+    // And back.
+    ft.touch(b);
+    EXPECT_EQ(ft.pickVictim(false), a);
+}
+
+TEST(FrameTable, LruIsGloballyFairUnderSkew)
+{
+    // One "process" keeps its 8 frames hot; another's 8 frames idle.
+    // Victims must come from the idle set, not from whichever frames
+    // happen to sit at a scan position.
+    FrameTable ft(64);
+    std::vector<Hfn> hot, idle;
+    for (Gfn g = 0; g < 8; ++g)
+        hot.push_back(ft.alloc({0, g}, PageData::zero()));
+    for (Gfn g = 0; g < 8; ++g)
+        idle.push_back(ft.alloc({1, g}, PageData::zero()));
+
+    for (int round = 0; round < 20; ++round) {
+        for (Hfn h : hot)
+            ft.touch(h);
+        Hfn v = ft.pickVictim(false);
+        ASSERT_NE(v, invalidFrame);
+        EXPECT_TRUE(std::find(idle.begin(), idle.end(), v) !=
+                    idle.end())
+            << "victim " << v << " came from the hot set";
+    }
+}
+
+TEST(FrameTable, SharedFramesNeedAllowShared)
+{
+    FrameTable ft(4);
+    Hfn h = ft.alloc({0, 0}, PageData::zero());
+    ft.addMapping(h, {1, 0});
+    EXPECT_EQ(ft.pickVictim(false), invalidFrame);
+    EXPECT_EQ(ft.pickVictim(true), h);
+}
+
+TEST(FrameTable, ConsistencyCheckCountsResident)
+{
+    FrameTable ft(32, nullptr);
+    std::vector<Hfn> frames;
+    for (int i = 0; i < 20; ++i)
+        frames.push_back(ft.alloc({0, static_cast<Gfn>(i)},
+                                  PageData::filled(i, i)));
+    for (int i = 0; i < 10; ++i)
+        ft.removeMapping(frames[i], {0, static_cast<Gfn>(i)});
+    EXPECT_EQ(ft.resident(), 10u);
+    ft.checkConsistency();
+}
+
+TEST(SwapDevice, StoreAndTake)
+{
+    SwapDevice swap;
+    PageData data = PageData::filled(5, 5);
+    auto slot = swap.store(data, {{0, 1}, {1, 2}});
+    EXPECT_TRUE(swap.has(slot));
+    EXPECT_EQ(swap.used(), 1u);
+
+    auto stored = swap.take(slot);
+    EXPECT_EQ(stored.data, data);
+    ASSERT_EQ(stored.mappings.size(), 2u);
+    EXPECT_FALSE(swap.has(slot));
+    EXPECT_EQ(swap.used(), 0u);
+}
+
+TEST(SwapDevice, SlotsAreUnique)
+{
+    SwapDevice swap;
+    auto a = swap.store(PageData::zero(), {{0, 0}});
+    auto b = swap.store(PageData::zero(), {{0, 1}});
+    EXPECT_NE(a, b);
+}
+
+TEST(SwapDevice, DropMappingFreesEmptySlot)
+{
+    SwapDevice swap;
+    auto slot = swap.store(PageData::zero(), {{0, 1}, {1, 2}});
+    EXPECT_FALSE(swap.dropMapping(slot, {0, 1}));
+    EXPECT_TRUE(swap.has(slot));
+    EXPECT_TRUE(swap.dropMapping(slot, {1, 2}));
+    EXPECT_FALSE(swap.has(slot));
+}
+
+TEST(SwapDevice, StatsArePublished)
+{
+    StatSet stats;
+    SwapDevice swap(&stats);
+    auto slot = swap.store(PageData::zero(), {{0, 0}});
+    EXPECT_EQ(stats.get("host.pswpout"), 1u);
+    EXPECT_EQ(stats.get("host.swap_slots"), 1u);
+    swap.take(slot);
+    EXPECT_EQ(stats.get("host.pswpin"), 1u);
+    EXPECT_EQ(stats.get("host.swap_slots"), 0u);
+}

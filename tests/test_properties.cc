@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Property-based tests (parameterized sweeps): the hypervisor + KSM
+ * stack is driven with randomized operation streams and checked against
+ * a shadow model, across many seeds.
+ *
+ * Invariants (DESIGN.md §7):
+ *  - a guest always reads back exactly what it last wrote, no matter
+ *    what merging/COW/eviction happened in between;
+ *  - structural consistency (refcounts, counters) holds at every
+ *    checkpoint;
+ *  - owner-oriented attribution conserves resident bytes.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "analysis/accounting.hh"
+#include "analysis/forensics.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "guest/guest_os.hh"
+#include "hv/hypervisor.hh"
+#include "ksm/ksm_scanner.hh"
+
+using namespace jtps;
+using hv::KvmHypervisor;
+using ksm::KsmConfig;
+using ksm::KsmScanner;
+using mem::PageData;
+
+namespace
+{
+
+class HvFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(HvFuzz, ReadYourWritesUnderMergeCowEvict)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    StatSet stats;
+
+    hv::HostConfig host;
+    host.ramBytes = 64 * pageSize; // tight: forces eviction
+    host.reserveBytes = 0;
+    KvmHypervisor hv(host, stats);
+
+    constexpr int num_vms = 3;
+    constexpr Gfn pages_per_vm = 40;
+    for (int v = 0; v < num_vms; ++v)
+        hv.createVm("vm" + std::to_string(v), pages_per_vm * pageSize, 0);
+
+    KsmConfig kcfg;
+    kcfg.pagesToScan = 1000;
+    KsmScanner scanner(hv, kcfg, stats);
+
+    // Shadow model: what each guest page must contain.
+    std::map<std::pair<VmId, Gfn>, PageData> shadow;
+
+    for (int step = 0; step < 3000; ++step) {
+        const VmId vm = rng.nextBelow(num_vms);
+        const Gfn gfn = rng.nextBelow(pages_per_vm);
+        const int op = rng.nextBelow(100);
+
+        if (op < 45) {
+            // Write a page; small content space => many duplicates.
+            PageData d = PageData::filled(rng.nextBelow(6), 0);
+            hv.writePage(vm, gfn, d);
+            shadow[{vm, gfn}] = d;
+        } else if (op < 60) {
+            // Word write.
+            const unsigned sector = rng.nextBelow(mem::sectorsPerPage);
+            const std::uint64_t value = rng.nextBelow(4);
+            hv.writeWord(vm, gfn, sector, value);
+            shadow[{vm, gfn}].word[sector] = value;
+        } else if (op < 75) {
+            // Read and verify immediately.
+            const unsigned sector = rng.nextBelow(mem::sectorsPerPage);
+            auto it = shadow.find({vm, gfn});
+            const std::uint64_t expect =
+                it == shadow.end() ? 0 : it->second.word[sector];
+            ASSERT_EQ(hv.readWord(vm, gfn, sector), expect)
+                << "seed=" << seed << " step=" << step;
+        } else if (op < 85) {
+            hv.discardPage(vm, gfn);
+            shadow.erase({vm, gfn});
+        } else if (op < 95) {
+            scanner.scanBatch();
+        } else {
+            hv.touchPage(vm, gfn);
+        }
+
+        if (step % 500 == 0)
+            hv.checkConsistency();
+    }
+
+    // Final full verification of every guest page.
+    for (int v = 0; v < num_vms; ++v) {
+        for (Gfn g = 0; g < pages_per_vm; ++g) {
+            auto it = shadow.find({static_cast<VmId>(v), g});
+            for (unsigned s = 0; s < mem::sectorsPerPage; ++s) {
+                const std::uint64_t expect =
+                    it == shadow.end() ? 0 : it->second.word[s];
+                ASSERT_EQ(hv.readWord(v, g, s), expect)
+                    << "seed=" << seed << " vm=" << v << " gfn=" << g;
+            }
+        }
+    }
+    hv.checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HvFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
+
+namespace
+{
+
+class CollapseFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(CollapseFuzz, CollapsePreservesContentAndConserves)
+{
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    StatSet stats;
+    hv::HostConfig host;
+    host.ramBytes = 16 * MiB;
+    host.reserveBytes = 0;
+    hv::PowerVmHypervisor hv(host, stats);
+
+    constexpr int num_vms = 4;
+    constexpr Gfn pages = 64;
+    std::map<std::pair<VmId, Gfn>, PageData> shadow;
+    for (int v = 0; v < num_vms; ++v) {
+        hv.createVm("vm" + std::to_string(v), pages * pageSize);
+        for (Gfn g = 0; g < pages; ++g) {
+            PageData d = PageData::filled(rng.nextBelow(10), 0);
+            hv.writePage(v, g, d);
+            shadow[{static_cast<VmId>(v), g}] = d;
+        }
+    }
+
+    const std::uint64_t before = hv.residentFrames();
+    const std::uint64_t merged = hv.runTps();
+    EXPECT_EQ(hv.residentFrames(), before - merged);
+    // At most 10 distinct contents remain.
+    EXPECT_LE(hv.residentFrames(), 10u);
+    hv.checkConsistency();
+
+    for (auto &[key, data] : shadow) {
+        const PageData *p = hv.peek(key.first, key.second);
+        ASSERT_NE(p, nullptr);
+        ASSERT_EQ(*p, data);
+    }
+
+    // Post-collapse writes still isolate correctly.
+    hv.writeWord(0, 0, 0, 424242);
+    for (int v = 1; v < num_vms; ++v) {
+        const std::uint64_t expect =
+            shadow[std::make_pair(static_cast<VmId>(v), Gfn{0})].word[0];
+        EXPECT_EQ(hv.peek(v, 0)->word[0], expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseFuzz,
+                         ::testing::Values(7, 11, 19, 23, 42));
+
+namespace
+{
+
+class ConservationSweep
+    : public ::testing::TestWithParam<std::tuple<int, bool>>
+{
+};
+
+} // namespace
+
+TEST_P(ConservationSweep, AttributionConservesResidentBytes)
+{
+    const auto [num_vms, collapse] = GetParam();
+    StatSet stats;
+    hv::HostConfig host;
+    host.ramBytes = 2ULL * GiB;
+    host.reserveBytes = 0;
+    KvmHypervisor hv(host, stats);
+
+    std::vector<std::unique_ptr<guest::GuestOs>> guests;
+    guest::KernelConfig k;
+    k.textBytes = 512 * KiB;
+    k.dataBytes = 256 * KiB;
+    k.slabBytes = 256 * KiB;
+    k.sharedBootCacheBytes = 1 * MiB;
+    k.privateBootCacheBytes = 512 * KiB;
+
+    for (int v = 0; v < num_vms; ++v) {
+        VmId id = hv.createVm("vm" + std::to_string(v), 32 * MiB,
+                              256 * KiB);
+        guests.push_back(std::make_unique<guest::GuestOs>(
+            hv, id, "vm", 100 + v));
+        guests.back()->bootKernel(k);
+        guests.back()->spawnDaemon("d", 128 * KiB, 128 * KiB);
+        Pid java = guests.back()->spawn("java", true);
+        auto *vma = guests.back()->mmapAnon(
+            java, 2 * MiB, guest::MemCategory::JavaHeap, "heap");
+        for (std::uint64_t i = 0; i < vma->numPages; ++i) {
+            guests.back()->writePage(
+                vma, i, PageData::filled(i % 7, i % 3));
+        }
+    }
+    if (collapse)
+        hv.collapseIdenticalPages();
+
+    std::vector<const guest::GuestOs *> ptrs;
+    for (auto &g : guests)
+        ptrs.push_back(g.get());
+    analysis::Snapshot snap = analysis::captureSnapshot(hv, ptrs);
+    analysis::OwnerAccounting owner(snap);
+    EXPECT_EQ(owner.attributedBytes(), owner.residentBytes());
+    EXPECT_EQ(owner.residentBytes(), hv.residentBytes());
+
+    Bytes rollup = 0;
+    for (int v = 0; v < num_vms; ++v)
+        rollup += owner.vmBreakdown(v).usageTotal();
+    EXPECT_EQ(rollup, owner.residentBytes());
+
+    analysis::PssAccounting pss(snap);
+    EXPECT_NEAR(pss.totalBytes(),
+                static_cast<double>(hv.residentBytes()), 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConservationSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4),
+                       ::testing::Values(false, true)));
+
+namespace
+{
+
+class GuestSwapFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(GuestSwapFuzz, ContentSurvivesGuestAndHostPressure)
+{
+    // Both paging layers active at once: a guest with less RAM than
+    // its working set, on a host with less RAM than the guest. Reads
+    // must always return the last written value.
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    StatSet stats;
+
+    hv::HostConfig host;
+    host.ramBytes = 32 * pageSize; // < guest RAM: host pages too
+    host.reserveBytes = 0;
+    KvmHypervisor hv(host, stats);
+    VmId id = hv.createVm("vm", 40 * pageSize, 0);
+    guest::GuestOs os(hv, id, "vm", seed);
+    Pid pid = os.spawn("p", false);
+    guest::Vma *vma = os.mmapAnon(pid, 64 * pageSize,
+                                  guest::MemCategory::JvmWork, "ws");
+
+    std::map<std::uint64_t, std::uint64_t> shadow; // page*8+sector -> v
+    for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t page = rng.nextBelow(64);
+        const unsigned sector = rng.nextBelow(mem::sectorsPerPage);
+        if (rng.bernoulli(0.6)) {
+            const std::uint64_t value = rng.next();
+            os.writeWord(vma, page, sector, value);
+            shadow[page * 8 + sector] = value;
+        } else {
+            auto it = shadow.find(page * 8 + sector);
+            const std::uint64_t expect =
+                it == shadow.end() ? 0 : it->second;
+            ASSERT_EQ(os.readWord(vma, page, sector), expect)
+                << "seed=" << seed << " step=" << step;
+        }
+        if (step % 1000 == 0)
+            hv.checkConsistency();
+    }
+    // The guest must actually have used its swap for this to be a
+    // meaningful test.
+    EXPECT_GT(os.guestSwapOuts(), 0u);
+    hv.checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GuestSwapFuzz,
+                         ::testing::Values(3, 7, 31, 127, 8191));

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * jtps_sim — command-line scenario runner.
+ *
+ * Puts the whole library behind one binary: pick a workload, a VM
+ * count and the memory techniques to enable, run the measurement
+ * protocol, and print any of the paper's report views.
+ *
+ *   jtps_sim --workload daytrader --vms 4 --cds --report all
+ *   jtps_sim --vms 8 --cds --zram 512 --report throughput
+ *   jtps_sim --vms 2 --thp --report sources --csv
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "analysis/sharing_sources.hh"
+#include "analysis/smaps.hh"
+#include "core/scenario.hh"
+#include "guest/balloon.hh"
+
+using namespace jtps;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload = "daytrader";
+    int vms = 4;
+    bool cds = false;
+    bool copyCache = true;
+    Bytes aotBytes = 0;
+    bool thp = false;
+    Bytes zramBytes = 0;
+    Bytes balloonBytes = 0;
+    Bytes hostRam = 6ULL * GiB;
+    Tick warmupMs = 45'000;
+    Tick steadyMs = 60'000;
+    std::uint64_t seed = 42;
+    std::string report = "breakdown";
+    bool csv = false;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --workload W    daytrader | specj | tpcw | tuscany\n"
+        "  --vms N         guest count (default 4)\n"
+        "  --cds           enable class sharing (cache copied to VMs)\n"
+        "  --no-copy       populate the cache per VM instead\n"
+        "  --aot MB        add an AOT section of MB to the cache\n"
+        "  --thp           guest transparent huge pages\n"
+        "  --zram MB       compressed host swap pool\n"
+        "  --balloon MB    inflate a balloon per guest after boot\n"
+        "  --ram GB        host RAM (default 6)\n"
+        "  --warmup S      warm-up seconds (default 45)\n"
+        "  --steady S      steady seconds (default 60)\n"
+        "  --seed N        scenario seed\n"
+        "  --report R      breakdown | java | sources | smaps |\n"
+        "                  throughput | all\n"
+        "  --csv           CSV output where available\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(argv[0]);
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--workload")
+            opt.workload = need(i);
+        else if (arg == "--vms")
+            opt.vms = std::atoi(need(i));
+        else if (arg == "--cds")
+            opt.cds = true;
+        else if (arg == "--no-copy")
+            opt.copyCache = false;
+        else if (arg == "--aot")
+            opt.aotBytes = std::strtoull(need(i), nullptr, 10) * MiB;
+        else if (arg == "--thp")
+            opt.thp = true;
+        else if (arg == "--zram")
+            opt.zramBytes = std::strtoull(need(i), nullptr, 10) * MiB;
+        else if (arg == "--balloon")
+            opt.balloonBytes = std::strtoull(need(i), nullptr, 10) * MiB;
+        else if (arg == "--ram")
+            opt.hostRam = std::strtoull(need(i), nullptr, 10) * GiB;
+        else if (arg == "--warmup")
+            opt.warmupMs = std::strtoull(need(i), nullptr, 10) * 1000;
+        else if (arg == "--steady")
+            opt.steadyMs = std::strtoull(need(i), nullptr, 10) * 1000;
+        else if (arg == "--seed")
+            opt.seed = std::strtoull(need(i), nullptr, 10);
+        else if (arg == "--report")
+            opt.report = need(i);
+        else if (arg == "--csv")
+            opt.csv = true;
+        else
+            usage(argv[0]);
+    }
+    if (opt.vms < 1 || opt.vms > 32)
+        fatal("--vms must be in [1, 32]");
+    return opt;
+}
+
+workload::WorkloadSpec
+pickWorkload(const Options &opt)
+{
+    workload::WorkloadSpec spec;
+    if (opt.workload == "daytrader")
+        spec = workload::dayTraderIntel();
+    else if (opt.workload == "specj")
+        spec = workload::specjEnterprise2010();
+    else if (opt.workload == "tpcw")
+        spec = workload::tpcwJava();
+    else if (opt.workload == "tuscany")
+        spec = workload::tuscanyBigbank();
+    else
+        fatal("unknown workload '%s'", opt.workload.c_str());
+    spec.useAotCache = opt.aotBytes > 0;
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    const Options opt = parse(argc, argv);
+
+    core::ScenarioConfig cfg;
+    cfg.enableClassSharing = opt.cds || opt.aotBytes > 0;
+    cfg.copyCacheToAllVms = opt.copyCache;
+    cfg.aotCacheBytes = opt.aotBytes;
+    cfg.guestThp = opt.thp;
+    cfg.host.ramBytes = opt.hostRam;
+    cfg.host.compressedSwapPoolBytes = opt.zramBytes;
+    cfg.warmupMs = opt.warmupMs;
+    cfg.steadyMs = opt.steadyMs;
+    cfg.seed = opt.seed;
+
+    std::vector<workload::WorkloadSpec> vms(
+        static_cast<std::size_t>(opt.vms), pickWorkload(opt));
+
+    core::Scenario scenario(cfg, vms);
+    scenario.build();
+    if (opt.balloonBytes > 0) {
+        for (int v = 0; v < opt.vms; ++v) {
+            guest::BalloonDriver balloon(scenario.guest(v));
+            balloon.inflate(opt.balloonBytes);
+        }
+    }
+    scenario.run();
+    scenario.hv().checkConsistency();
+
+    auto acct = scenario.account();
+    const bool all = opt.report == "all";
+
+    if (all || opt.report == "breakdown") {
+        std::printf("%s\n",
+                    opt.csv
+                        ? analysis::vmBreakdownCsv(acct,
+                                                   scenario.vmNames())
+                              .c_str()
+                        : analysis::renderVmBreakdownReport(
+                              acct, scenario.vmNames())
+                              .c_str());
+    }
+    if (all || opt.report == "java") {
+        std::printf("%s\n",
+                    opt.csv
+                        ? analysis::javaBreakdownCsv(acct,
+                                                     scenario.javaRows())
+                              .c_str()
+                        : analysis::renderJavaBreakdownReport(
+                              acct, scenario.javaRows())
+                              .c_str());
+    }
+    if (all || opt.report == "sources") {
+        const std::size_t guest = opt.vms > 1 ? 1 : 0;
+        std::printf("TPS-shared sources in %s:\n%s\n",
+                    scenario.vmNames()[guest].c_str(),
+                    analysis::renderSharingSources(
+                        analysis::collectSharingSources(
+                            scenario.guest(guest)))
+                        .c_str());
+    }
+    if (all || opt.report == "smaps") {
+        std::printf("%s\n",
+                    analysis::renderSmaps(
+                        analysis::computeSmaps(scenario.guest(0),
+                                               scenario.javaRows()[0].pid))
+                        .c_str());
+    }
+    if (all || opt.report == "throughput") {
+        auto tput = scenario.perVmThroughput(10);
+        auto resp = scenario.perVmResponseMs(10);
+        double total = 0;
+        for (int v = 0; v < opt.vms; ++v) {
+            total += tput[v];
+            std::printf("%s: %.1f rq/s, %.0f ms, %llu maj faults\n",
+                        scenario.vmNames()[v].c_str(), tput[v], resp[v],
+                        (unsigned long long)scenario.hv().majorFaults(v));
+        }
+        std::printf("aggregate: %.1f rq/s;  resident %s MiB;  KSM saved "
+                    "%s MiB (ksmd %.1f%% CPU)\n",
+                    total,
+                    formatMiB(scenario.hv().residentBytes()).c_str(),
+                    formatMiB(scenario.ksm().savedBytes()).c_str(),
+                    scenario.ksm().cpuUsage() * 100);
+    }
+    return 0;
+}
