@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cache_scope.dir/bench_ablation_cache_scope.cpp.o"
+  "CMakeFiles/bench_ablation_cache_scope.dir/bench_ablation_cache_scope.cpp.o.d"
+  "bench_ablation_cache_scope"
+  "bench_ablation_cache_scope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cache_scope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

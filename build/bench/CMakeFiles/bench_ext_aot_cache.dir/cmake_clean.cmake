@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_aot_cache.dir/bench_ext_aot_cache.cpp.o"
+  "CMakeFiles/bench_ext_aot_cache.dir/bench_ext_aot_cache.cpp.o.d"
+  "bench_ext_aot_cache"
+  "bench_ext_aot_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_aot_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

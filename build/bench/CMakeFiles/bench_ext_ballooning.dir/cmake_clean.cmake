@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ballooning.dir/bench_ext_ballooning.cpp.o"
+  "CMakeFiles/bench_ext_ballooning.dir/bench_ext_ballooning.cpp.o.d"
+  "bench_ext_ballooning"
+  "bench_ext_ballooning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ballooning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

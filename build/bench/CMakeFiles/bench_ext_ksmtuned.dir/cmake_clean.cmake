@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_ksmtuned.dir/bench_ext_ksmtuned.cpp.o"
+  "CMakeFiles/bench_ext_ksmtuned.dir/bench_ext_ksmtuned.cpp.o.d"
+  "bench_ext_ksmtuned"
+  "bench_ext_ksmtuned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ksmtuned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

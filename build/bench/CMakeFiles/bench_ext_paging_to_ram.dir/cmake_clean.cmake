@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_paging_to_ram.dir/bench_ext_paging_to_ram.cpp.o"
+  "CMakeFiles/bench_ext_paging_to_ram.dir/bench_ext_paging_to_ram.cpp.o.d"
+  "bench_ext_paging_to_ram"
+  "bench_ext_paging_to_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_paging_to_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3c_tuscany.dir/bench_fig3c_tuscany.cpp.o"
+  "CMakeFiles/bench_fig3c_tuscany.dir/bench_fig3c_tuscany.cpp.o.d"
+  "bench_fig3c_tuscany"
+  "bench_fig3c_tuscany.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_tuscany.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_preloaded.dir/bench_fig4_preloaded.cpp.o"
+  "CMakeFiles/bench_fig4_preloaded.dir/bench_fig4_preloaded.cpp.o.d"
+  "bench_fig4_preloaded"
+  "bench_fig4_preloaded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_preloaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

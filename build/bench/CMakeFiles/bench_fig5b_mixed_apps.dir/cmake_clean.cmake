@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_mixed_apps.dir/bench_fig5b_mixed_apps.cpp.o"
+  "CMakeFiles/bench_fig5b_mixed_apps.dir/bench_fig5b_mixed_apps.cpp.o.d"
+  "bench_fig5b_mixed_apps"
+  "bench_fig5b_mixed_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_mixed_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

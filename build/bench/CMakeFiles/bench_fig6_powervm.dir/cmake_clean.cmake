@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_powervm.dir/bench_fig6_powervm.cpp.o"
+  "CMakeFiles/bench_fig6_powervm.dir/bench_fig6_powervm.cpp.o.d"
+  "bench_fig6_powervm"
+  "bench_fig6_powervm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_powervm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_daytrader_scaling.cpp" "bench/CMakeFiles/bench_fig7_daytrader_scaling.dir/bench_fig7_daytrader_scaling.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_daytrader_scaling.dir/bench_fig7_daytrader_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jtps_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/jtps_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/ksm/CMakeFiles/jtps_ksm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jtps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jtps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jtps_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/jtps_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/jtps_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jtps_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/jtps_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

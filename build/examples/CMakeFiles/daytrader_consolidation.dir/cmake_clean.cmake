@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daytrader_consolidation.dir/daytrader_consolidation.cpp.o"
+  "CMakeFiles/daytrader_consolidation.dir/daytrader_consolidation.cpp.o.d"
+  "daytrader_consolidation"
+  "daytrader_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daytrader_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

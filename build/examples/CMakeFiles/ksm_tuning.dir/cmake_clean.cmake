@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ksm_tuning.dir/ksm_tuning.cpp.o"
+  "CMakeFiles/ksm_tuning.dir/ksm_tuning.cpp.o.d"
+  "ksm_tuning"
+  "ksm_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ksm_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

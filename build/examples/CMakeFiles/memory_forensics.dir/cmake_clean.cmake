@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_forensics.dir/memory_forensics.cpp.o"
+  "CMakeFiles/memory_forensics.dir/memory_forensics.cpp.o.d"
+  "memory_forensics"
+  "memory_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

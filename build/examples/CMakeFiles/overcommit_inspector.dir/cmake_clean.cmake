@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overcommit_inspector.dir/overcommit_inspector.cpp.o"
+  "CMakeFiles/overcommit_inspector.dir/overcommit_inspector.cpp.o.d"
+  "overcommit_inspector"
+  "overcommit_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overcommit_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_aware_placement.dir/sharing_aware_placement.cpp.o"
+  "CMakeFiles/sharing_aware_placement.dir/sharing_aware_placement.cpp.o.d"
+  "sharing_aware_placement"
+  "sharing_aware_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_aware_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

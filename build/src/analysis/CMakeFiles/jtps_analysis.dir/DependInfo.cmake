@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/accounting.cc" "src/analysis/CMakeFiles/jtps_analysis.dir/accounting.cc.o" "gcc" "src/analysis/CMakeFiles/jtps_analysis.dir/accounting.cc.o.d"
+  "/root/repo/src/analysis/dump_format.cc" "src/analysis/CMakeFiles/jtps_analysis.dir/dump_format.cc.o" "gcc" "src/analysis/CMakeFiles/jtps_analysis.dir/dump_format.cc.o.d"
+  "/root/repo/src/analysis/forensics.cc" "src/analysis/CMakeFiles/jtps_analysis.dir/forensics.cc.o" "gcc" "src/analysis/CMakeFiles/jtps_analysis.dir/forensics.cc.o.d"
+  "/root/repo/src/analysis/report.cc" "src/analysis/CMakeFiles/jtps_analysis.dir/report.cc.o" "gcc" "src/analysis/CMakeFiles/jtps_analysis.dir/report.cc.o.d"
+  "/root/repo/src/analysis/sharing_monitor.cc" "src/analysis/CMakeFiles/jtps_analysis.dir/sharing_monitor.cc.o" "gcc" "src/analysis/CMakeFiles/jtps_analysis.dir/sharing_monitor.cc.o.d"
+  "/root/repo/src/analysis/sharing_sources.cc" "src/analysis/CMakeFiles/jtps_analysis.dir/sharing_sources.cc.o" "gcc" "src/analysis/CMakeFiles/jtps_analysis.dir/sharing_sources.cc.o.d"
+  "/root/repo/src/analysis/smaps.cc" "src/analysis/CMakeFiles/jtps_analysis.dir/smaps.cc.o" "gcc" "src/analysis/CMakeFiles/jtps_analysis.dir/smaps.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/jtps_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/jtps_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/jtps_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/ksm/CMakeFiles/jtps_ksm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/jtps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jtps_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_analysis.dir/accounting.cc.o"
+  "CMakeFiles/jtps_analysis.dir/accounting.cc.o.d"
+  "CMakeFiles/jtps_analysis.dir/dump_format.cc.o"
+  "CMakeFiles/jtps_analysis.dir/dump_format.cc.o.d"
+  "CMakeFiles/jtps_analysis.dir/forensics.cc.o"
+  "CMakeFiles/jtps_analysis.dir/forensics.cc.o.d"
+  "CMakeFiles/jtps_analysis.dir/report.cc.o"
+  "CMakeFiles/jtps_analysis.dir/report.cc.o.d"
+  "CMakeFiles/jtps_analysis.dir/sharing_monitor.cc.o"
+  "CMakeFiles/jtps_analysis.dir/sharing_monitor.cc.o.d"
+  "CMakeFiles/jtps_analysis.dir/sharing_sources.cc.o"
+  "CMakeFiles/jtps_analysis.dir/sharing_sources.cc.o.d"
+  "CMakeFiles/jtps_analysis.dir/smaps.cc.o"
+  "CMakeFiles/jtps_analysis.dir/smaps.cc.o.d"
+  "libjtps_analysis.a"
+  "libjtps_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_base.dir/logging.cc.o"
+  "CMakeFiles/jtps_base.dir/logging.cc.o.d"
+  "CMakeFiles/jtps_base.dir/rng.cc.o"
+  "CMakeFiles/jtps_base.dir/rng.cc.o.d"
+  "CMakeFiles/jtps_base.dir/stats.cc.o"
+  "CMakeFiles/jtps_base.dir/stats.cc.o.d"
+  "CMakeFiles/jtps_base.dir/table.cc.o"
+  "CMakeFiles/jtps_base.dir/table.cc.o.d"
+  "CMakeFiles/jtps_base.dir/units.cc.o"
+  "CMakeFiles/jtps_base.dir/units.cc.o.d"
+  "libjtps_base.a"
+  "libjtps_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_core.dir/paper_tables.cc.o"
+  "CMakeFiles/jtps_core.dir/paper_tables.cc.o.d"
+  "CMakeFiles/jtps_core.dir/placement.cc.o"
+  "CMakeFiles/jtps_core.dir/placement.cc.o.d"
+  "CMakeFiles/jtps_core.dir/power_scenario.cc.o"
+  "CMakeFiles/jtps_core.dir/power_scenario.cc.o.d"
+  "CMakeFiles/jtps_core.dir/scenario.cc.o"
+  "CMakeFiles/jtps_core.dir/scenario.cc.o.d"
+  "libjtps_core.a"
+  "libjtps_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

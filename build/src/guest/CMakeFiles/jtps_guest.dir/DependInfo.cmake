@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/guest_os.cc" "src/guest/CMakeFiles/jtps_guest.dir/guest_os.cc.o" "gcc" "src/guest/CMakeFiles/jtps_guest.dir/guest_os.cc.o.d"
+  "/root/repo/src/guest/mem_category.cc" "src/guest/CMakeFiles/jtps_guest.dir/mem_category.cc.o" "gcc" "src/guest/CMakeFiles/jtps_guest.dir/mem_category.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/jtps_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jtps_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/jtps_hv.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

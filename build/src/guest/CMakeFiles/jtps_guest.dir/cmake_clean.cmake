@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_guest.dir/guest_os.cc.o"
+  "CMakeFiles/jtps_guest.dir/guest_os.cc.o.d"
+  "CMakeFiles/jtps_guest.dir/mem_category.cc.o"
+  "CMakeFiles/jtps_guest.dir/mem_category.cc.o.d"
+  "libjtps_guest.a"
+  "libjtps_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjtps_guest.a"
+)

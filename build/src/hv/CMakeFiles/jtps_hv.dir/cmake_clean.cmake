@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_hv.dir/hypervisor.cc.o"
+  "CMakeFiles/jtps_hv.dir/hypervisor.cc.o.d"
+  "libjtps_hv.a"
+  "libjtps_hv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_hv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/class_model.cc" "src/jvm/CMakeFiles/jtps_jvm.dir/class_model.cc.o" "gcc" "src/jvm/CMakeFiles/jtps_jvm.dir/class_model.cc.o.d"
+  "/root/repo/src/jvm/java_heap.cc" "src/jvm/CMakeFiles/jtps_jvm.dir/java_heap.cc.o" "gcc" "src/jvm/CMakeFiles/jtps_jvm.dir/java_heap.cc.o.d"
+  "/root/repo/src/jvm/java_vm.cc" "src/jvm/CMakeFiles/jtps_jvm.dir/java_vm.cc.o" "gcc" "src/jvm/CMakeFiles/jtps_jvm.dir/java_vm.cc.o.d"
+  "/root/repo/src/jvm/jit_compiler.cc" "src/jvm/CMakeFiles/jtps_jvm.dir/jit_compiler.cc.o" "gcc" "src/jvm/CMakeFiles/jtps_jvm.dir/jit_compiler.cc.o.d"
+  "/root/repo/src/jvm/shared_class_cache.cc" "src/jvm/CMakeFiles/jtps_jvm.dir/shared_class_cache.cc.o" "gcc" "src/jvm/CMakeFiles/jtps_jvm.dir/shared_class_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/jtps_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/jtps_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/hv/CMakeFiles/jtps_hv.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/jtps_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

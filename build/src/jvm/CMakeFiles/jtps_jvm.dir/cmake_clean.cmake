@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_jvm.dir/class_model.cc.o"
+  "CMakeFiles/jtps_jvm.dir/class_model.cc.o.d"
+  "CMakeFiles/jtps_jvm.dir/java_heap.cc.o"
+  "CMakeFiles/jtps_jvm.dir/java_heap.cc.o.d"
+  "CMakeFiles/jtps_jvm.dir/java_vm.cc.o"
+  "CMakeFiles/jtps_jvm.dir/java_vm.cc.o.d"
+  "CMakeFiles/jtps_jvm.dir/jit_compiler.cc.o"
+  "CMakeFiles/jtps_jvm.dir/jit_compiler.cc.o.d"
+  "CMakeFiles/jtps_jvm.dir/shared_class_cache.cc.o"
+  "CMakeFiles/jtps_jvm.dir/shared_class_cache.cc.o.d"
+  "libjtps_jvm.a"
+  "libjtps_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_ksm.dir/ksm_scanner.cc.o"
+  "CMakeFiles/jtps_ksm.dir/ksm_scanner.cc.o.d"
+  "CMakeFiles/jtps_ksm.dir/ksm_tuned.cc.o"
+  "CMakeFiles/jtps_ksm.dir/ksm_tuned.cc.o.d"
+  "libjtps_ksm.a"
+  "libjtps_ksm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_ksm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

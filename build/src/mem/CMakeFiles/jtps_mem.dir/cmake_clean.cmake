@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_mem.dir/frame_table.cc.o"
+  "CMakeFiles/jtps_mem.dir/frame_table.cc.o.d"
+  "CMakeFiles/jtps_mem.dir/swap_device.cc.o"
+  "CMakeFiles/jtps_mem.dir/swap_device.cc.o.d"
+  "libjtps_mem.a"
+  "libjtps_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_sim.dir/event_queue.cc.o"
+  "CMakeFiles/jtps_sim.dir/event_queue.cc.o.d"
+  "libjtps_sim.a"
+  "libjtps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_workload.dir/client_driver.cc.o"
+  "CMakeFiles/jtps_workload.dir/client_driver.cc.o.d"
+  "CMakeFiles/jtps_workload.dir/workload_spec.cc.o"
+  "CMakeFiles/jtps_workload.dir/workload_spec.cc.o.d"
+  "libjtps_workload.a"
+  "libjtps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

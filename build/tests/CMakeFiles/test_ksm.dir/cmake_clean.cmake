@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksm.dir/test_ksm.cc.o"
+  "CMakeFiles/test_ksm.dir/test_ksm.cc.o.d"
+  "test_ksm"
+  "test_ksm.pdb"
+  "test_ksm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jtps_cli.dir/jtps_sim.cc.o"
+  "CMakeFiles/jtps_cli.dir/jtps_sim.cc.o.d"
+  "jtps"
+  "jtps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jtps_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
