@@ -16,6 +16,39 @@
 
 using namespace jtps;
 
+namespace
+{
+
+struct Row
+{
+    std::uint64_t sleepMs = 0;
+    std::uint64_t fullScans = 0;
+    Bytes savedBytes = 0;
+    double cpuUsage = 0.0;
+};
+
+Row
+measure(std::uint32_t pages)
+{
+    core::ScenarioConfig cfg = bench::paperConfig(true);
+    // Single-phase: the sweep value applies for the whole run.
+    cfg.ksmWarmupPagesToScan = pages;
+    cfg.ksm.pagesToScan = pages;
+    cfg.warmupMs = 30'000;
+    cfg.steadyMs = 30'000;
+
+    std::vector<workload::WorkloadSpec> vms(
+        4, workload::dayTraderIntel());
+    core::Scenario scenario(cfg, vms);
+    scenario.build();
+    scenario.run();
+
+    return {cfg.ksm.sleepMillisecs, scenario.ksm().fullScans(),
+            scenario.ksm().savedBytes(), scenario.ksm().cpuUsage()};
+}
+
+} // namespace
+
 int
 main()
 {
@@ -26,26 +59,16 @@ main()
                 "sleep_ms", "full_scans", "saved (MiB)", "ksmd CPU");
     std::printf("%s\n", std::string(70, '-').c_str());
 
-    for (std::uint32_t pages : {100u, 500u, 1000u, 4000u, 10000u}) {
-        core::ScenarioConfig cfg = bench::paperConfig(true);
-        // Single-phase: the sweep value applies for the whole run.
-        cfg.ksmWarmupPagesToScan = pages;
-        cfg.ksm.pagesToScan = pages;
-        cfg.warmupMs = 30'000;
-        cfg.steadyMs = 30'000;
+    const std::vector<std::uint32_t> points = {100u, 500u, 1000u, 4000u,
+                                               10000u};
+    const std::vector<Row> rows = bench::sweep(points, measure);
 
-        std::vector<workload::WorkloadSpec> vms(
-            4, workload::dayTraderIntel());
-        core::Scenario scenario(cfg, vms);
-        scenario.build();
-        scenario.run();
-
-        std::printf("%-14u %-10llu %14llu %14s %11.1f%%\n", pages,
-                    (unsigned long long)cfg.ksm.sleepMillisecs,
-                    (unsigned long long)scenario.ksm().fullScans(),
-                    formatMiB(scenario.ksm().savedBytes()).c_str(),
-                    scenario.ksm().cpuUsage() * 100.0);
-        std::fflush(stdout);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        std::printf("%-14u %-10llu %14llu %14s %11.1f%%\n", points[i],
+                    (unsigned long long)rows[i].sleepMs,
+                    (unsigned long long)rows[i].fullScans,
+                    formatMiB(rows[i].savedBytes).c_str(),
+                    rows[i].cpuUsage * 100.0);
     }
     std::printf("\npaper operating points: 10,000 pages/100ms during "
                 "warm-up (~25%% CPU), 1,000 (~2%%) during measurement\n");

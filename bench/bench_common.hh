@@ -12,14 +12,67 @@
 #ifndef JTPS_BENCH_BENCH_COMMON_HH
 #define JTPS_BENCH_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "base/thread_pool.hh"
 #include "core/scenario.hh"
 
 namespace jtps::bench
 {
+
+/**
+ * Worker count for sweep(): $JTPS_BENCH_THREADS if set (1 forces the
+ * serial path), otherwise the hardware concurrency.
+ */
+inline unsigned
+sweepThreads()
+{
+    if (const char *env = std::getenv("JTPS_BENCH_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1)
+            return static_cast<unsigned>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+/**
+ * Evaluate @p fn on every element of @p points — concurrently when
+ * sweepThreads() > 1 — and return the results in point order.
+ *
+ * Each sweep point builds and runs its own Scenario, which owns every
+ * piece of mutable state it touches (hypervisor, stat set, RNGs), so
+ * points are independent and deterministic. Results are collected into
+ * pre-assigned slots and printed by the caller in point order
+ * afterwards, so the output is byte-identical at any thread count.
+ */
+template <typename Point, typename Fn>
+auto
+sweep(const std::vector<Point> &points, Fn fn)
+    -> std::vector<decltype(fn(points[0]))>
+{
+    using Result = decltype(fn(points[0]));
+    std::vector<Result> results(points.size());
+    const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
+        sweepThreads(), points.size()));
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < points.size(); ++i)
+            results[i] = fn(points[i]);
+        return results;
+    }
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < points.size(); ++i)
+        pool.submit([&results, &points, &fn, i]() {
+            results[i] = fn(points[i]);
+        });
+    pool.wait();
+    return results;
+}
 
 /** Standard Intel/KVM scenario configuration (Tables I-II). */
 inline core::ScenarioConfig

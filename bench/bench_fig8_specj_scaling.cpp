@@ -49,6 +49,12 @@ measure(int num_vms, bool class_sharing)
     return {score / per_vm.size(), sla};
 }
 
+struct SweepPoint
+{
+    int vms;
+    bool preloaded;
+};
+
 } // namespace
 
 int
@@ -61,13 +67,21 @@ main()
                 "SLA", "preloaded EjOPS", "SLA");
     std::printf("%s\n", std::string(58, '-').c_str());
 
+    std::vector<SweepPoint> points;
     for (int n = 5; n <= 8; ++n) {
-        const Point def = measure(n, false);
-        const Point ours = measure(n, true);
+        points.push_back({n, false});
+        points.push_back({n, true});
+    }
+    const std::vector<Point> results = bench::sweep(
+        points,
+        [](const SweepPoint &p) { return measure(p.vms, p.preloaded); });
+
+    for (int n = 5; n <= 8; ++n) {
+        const Point &def = results[2 * (n - 5)];
+        const Point &ours = results[2 * (n - 5) + 1];
         std::printf("%-6d %16.1f %6s %18.1f %6s\n", n, def.score,
                     def.slaMet ? "ok" : "FAIL", ours.score,
                     ours.slaMet ? "ok" : "FAIL");
-        std::fflush(stdout);
     }
     std::printf("\npaper: ~24 at 5-6 VMs; at 7: default ~15 (SLA fail) "
                 "vs ours ~24; at 8 both degrade\n");

@@ -113,6 +113,84 @@ BM_KsmScanPass(benchmark::State &state)
 BENCHMARK(BM_KsmScanPass)->Arg(4096)->Arg(32768);
 
 void
+BM_KsmScanDistinctPages(benchmark::State &state)
+{
+    // Scan throughput over calm, all-distinct pages: every visit is a
+    // stable-tree miss followed by an unstable-tree insert, i.e. the
+    // tree cost of a warm-up pass before any sharing exists.
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId a = hv.createVm("a", 256 * MiB, 0);
+    VmId b = hv.createVm("b", 256 * MiB, 0);
+    const Gfn n = state.range(0);
+    for (Gfn g = 0; g < n; ++g) {
+        hv.writePage(a, g, mem::PageData::filled(6, g));
+        hv.writePage(b, g, mem::PageData::filled(7, g));
+    }
+    ksm::KsmConfig cfg;
+    cfg.pagesToScan = 1u << 30; // one batch = one pass
+    ksm::KsmScanner scanner(hv, cfg, stats);
+    scanner.scanBatch(); // pass 1: record checksums (nothing calm yet)
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scanner.scanBatch());
+    state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_KsmScanDistinctPages)->Arg(4096)->Arg(32768);
+
+void
+BM_KsmScanStableMiss(benchmark::State &state)
+{
+    // Scan throughput with a large populated stable tree: VMs a and b
+    // merge into n stable frames; VM c's n distinct pages then probe
+    // that tree (miss) and rebuild the unstable tree every pass.
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId a = hv.createVm("a", 256 * MiB, 0);
+    VmId b = hv.createVm("b", 256 * MiB, 0);
+    VmId c = hv.createVm("c", 256 * MiB, 0);
+    const Gfn n = state.range(0);
+    for (Gfn g = 0; g < n; ++g) {
+        hv.writePage(a, g, mem::PageData::filled(8, g));
+        hv.writePage(b, g, mem::PageData::filled(8, g));
+        hv.writePage(c, g, mem::PageData::filled(9, g));
+    }
+    ksm::KsmConfig cfg;
+    cfg.pagesToScan = 1u << 30; // one batch = one pass
+    ksm::KsmScanner scanner(hv, cfg, stats);
+    scanner.runToQuiescence();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scanner.scanBatch());
+    state.SetItemsProcessed(state.iterations() * 3 * n);
+}
+BENCHMARK(BM_KsmScanStableMiss)->Arg(4096)->Arg(32768);
+
+void
+BM_PagesSharedSharing(benchmark::State &state)
+{
+    // The sharing monitor samples pagesShared()/pagesSharing() on a
+    // fixed period; with per-call frame walks this scales with host
+    // size instead of O(1).
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    VmId a = hv.createVm("a", 256 * MiB, 0);
+    VmId b = hv.createVm("b", 256 * MiB, 0);
+    for (Gfn g = 0; g < 32768; ++g) {
+        hv.writePage(a, g, mem::PageData::filled(10, g));
+        hv.writePage(b, g, mem::PageData::filled(10, g));
+    }
+    ksm::KsmConfig cfg;
+    cfg.pagesToScan = 1u << 30;
+    ksm::KsmScanner scanner(hv, cfg, stats);
+    scanner.runToQuiescence();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scanner.pagesShared());
+        benchmark::DoNotOptimize(scanner.pagesSharing());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PagesSharedSharing);
+
+void
 BM_CollapseIdenticalPages(benchmark::State &state)
 {
     StatSet stats;

@@ -22,6 +22,12 @@ StatSet::dec(const std::string &name, std::uint64_t delta)
     it->second -= delta;
 }
 
+std::uint64_t &
+StatSet::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
 void
 StatSet::set(const std::string &name, std::uint64_t value)
 {

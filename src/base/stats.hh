@@ -29,6 +29,17 @@ class StatSet
     /** Add @p delta to counter @p name (creating it at zero). */
     void inc(const std::string &name, std::uint64_t delta = 1);
 
+    /**
+     * Stable reference to counter @p name (creating it at zero).
+     *
+     * Hot paths (the KSM scanner visits every guest page on every
+     * pass) resolve their counters once and bump the reference, so the
+     * per-event cost is one add instead of a string-keyed map lookup.
+     * The map is node-based, so the reference stays valid across later
+     * insertions; only clear() invalidates handles.
+     */
+    std::uint64_t &counter(const std::string &name);
+
     /** Subtract @p delta from counter @p name (must not underflow). */
     void dec(const std::string &name, std::uint64_t delta = 1);
 

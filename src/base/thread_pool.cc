@@ -1,0 +1,71 @@
+#include "base/thread_pool.hh"
+
+#include "base/logging.hh"
+
+namespace jtps
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    jtps_assert(threads >= 1);
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        shutting_down_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        jtps_assert(!shutting_down_);
+        queue_.push_back(std::move(job));
+        ++in_flight_;
+    }
+    work_available_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    all_done_.wait(lock, [this]() { return in_flight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(lock, [this]() {
+                return !queue_.empty() || shutting_down_;
+            });
+            if (queue_.empty())
+                return; // shutting down and drained
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0)
+                all_done_.notify_all();
+        }
+    }
+}
+
+} // namespace jtps

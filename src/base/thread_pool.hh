@@ -1,0 +1,64 @@
+/**
+ * @file
+ * A small fixed-size thread pool.
+ *
+ * Scenario runs are self-contained and deterministic (DESIGN.md
+ * invariant 5): a Scenario owns its hypervisor, stat set and RNGs, and
+ * shares no mutable state with any other Scenario. Independent sweep
+ * points (Figs. 7/8 run 18 scenarios back-to-back) can therefore run
+ * concurrently, bounded only by cores. The pool is deliberately plain:
+ * submit closures, wait for the queue to drain.
+ */
+
+#ifndef JTPS_BASE_THREAD_POOL_HH
+#define JTPS_BASE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jtps
+{
+
+/**
+ * Fixed worker count, FIFO job queue, drain-on-destruction.
+ */
+class ThreadPool
+{
+  public:
+    /** Start @p threads workers (at least one). */
+    explicit ThreadPool(unsigned threads);
+
+    /** Waits for all submitted jobs, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue @p job for execution on some worker. */
+    void submit(std::function<void()> job);
+
+    /** Block until every submitted job has finished. */
+    void wait();
+
+    /** Number of worker threads. */
+    unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable work_available_;
+    std::condition_variable all_done_;
+    std::deque<std::function<void()>> queue_;
+    std::vector<std::thread> workers_;
+    unsigned in_flight_ = 0; //!< queued + currently executing jobs
+    bool shutting_down_ = false;
+};
+
+} // namespace jtps
+
+#endif // JTPS_BASE_THREAD_POOL_HH

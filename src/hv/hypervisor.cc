@@ -373,7 +373,7 @@ Hypervisor::ksmMakeStable(VmId vm_id, Gfn gfn)
 
     mem::Frame &f = frames_.frame(e.backing);
     jtps_assert(!f.pinned);
-    f.ksmStable = true;
+    frames_.setKsmStable(e.backing, true);
     // Write-protect every mapping of the frame so any write COWs.
     f.forEachMapping([this](const mem::Mapping &m) {
         vm(m.vm).ept.entry(m.gfn).writeProtected = true;

@@ -8,7 +8,14 @@ namespace jtps::ksm
 
 KsmScanner::KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg,
                        StatSet &stats)
-    : hv_(hv), cfg_(cfg), stats_(stats)
+    : hv_(hv), cfg_(cfg), stats_(stats),
+      stat_stale_stable_(stats.counter("ksm.stale_stable_nodes")),
+      stat_stale_unstable_(stats.counter("ksm.stale_unstable_nodes")),
+      stat_skipped_huge_(stats.counter("ksm.skipped_huge")),
+      stat_not_calm_(stats.counter("ksm.not_calm")),
+      stat_stable_merges_(stats.counter("ksm.stable_merges")),
+      stat_unstable_promotions_(stats.counter("ksm.unstable_promotions")),
+      stat_pages_visited_(stats.counter("ksm.pages_visited"))
 {
 }
 
@@ -27,30 +34,40 @@ KsmScanner::setSleepMillisecs(Tick ms)
 }
 
 Hfn
-KsmScanner::stableLookup(const mem::PageData &data)
+KsmScanner::stableLookup(const mem::PageData &data, std::uint64_t digest)
 {
-    auto [begin, end] = stable_tree_.equal_range(data);
-    for (auto it = begin; it != end;) {
-        Hfn hfn = it->second;
+    auto bucket = stable_tree_.find(digest);
+    if (bucket == stable_tree_.end())
+        return invalidFrame;
+
+    std::vector<Hfn> &chain = bucket->second;
+    Hfn found = invalidFrame;
+    for (std::size_t i = 0; i < chain.size();) {
+        const Hfn hfn = chain[i];
         // Lazy pruning: the frame may have been freed (all sharers
         // COW-diverged or the host evicted it) or its content replaced.
+        // The full compare also guards merging across a digest
+        // collision — a colliding valid frame merely loses its node.
         if (!hv_.frames().isAllocated(hfn) ||
             !hv_.frames().frame(hfn).ksmStable ||
             !(hv_.frames().frame(hfn).data == data)) {
-            it = stable_tree_.erase(it);
-            stats_.inc("ksm.stale_stable_nodes");
+            chain.erase(chain.begin() + i);
+            ++stat_stale_stable_;
             continue;
         }
         // Chain discipline: a full stable frame stops accepting
         // sharers; the next duplicate in the chain (or a fresh one)
         // takes over.
         if (hv_.frames().frame(hfn).refcount >= cfg_.maxPageSharing) {
-            ++it;
+            ++i;
             continue;
         }
-        return hfn;
+        found = hfn;
+        break;
     }
-    return invalidFrame;
+    if (chain.empty())
+        stable_tree_.erase(bucket);
+    return found;
 }
 
 bool
@@ -62,7 +79,7 @@ KsmScanner::scanOne(VmId vm, Gfn gfn)
 
     if (hv_.isHugePage(vm, gfn)) {
         // THP-backed memory is not madvise-MERGEABLE: skip.
-        stats_.inc("ksm.skipped_huge");
+        ++stat_skipped_huge_;
         return true;
     }
 
@@ -76,24 +93,27 @@ KsmScanner::scanOne(VmId vm, Gfn gfn)
     if (!e.ksmChecksumValid || e.ksmChecksum != sum) {
         e.ksmChecksum = sum;
         e.ksmChecksumValid = true;
-        stats_.inc("ksm.not_calm");
+        ++stat_not_calm_;
         return true;
     }
 
+    // One digest per visit keys both indexes.
+    const std::uint64_t digest = data->digest();
+
     // Stable tree first.
-    Hfn stable = stableLookup(*data);
+    Hfn stable = stableLookup(*data, digest);
     if (stable != invalidFrame) {
         if (hv_.ksmMergeInto(stable, vm, gfn)) {
             ++merges_this_pass_;
             ++merges_total_;
-            stats_.inc("ksm.stable_merges");
+            ++stat_stable_merges_;
         }
         return true;
     }
 
     // Unstable tree: find another calm page with the same content seen
     // earlier in this pass.
-    auto it = unstable_tree_.find(*data);
+    auto it = unstable_tree_.find(digest);
     if (it != unstable_tree_.end()) {
         auto [ovm, ogfn] = it->second;
         if (ovm == vm && ogfn == gfn) {
@@ -101,25 +121,26 @@ KsmScanner::scanOne(VmId vm, Gfn gfn)
         }
         const mem::PageData *other = hv_.peek(ovm, ogfn);
         if (other == nullptr || !(*other == *data)) {
-            // The tree node went stale (page rewritten or swapped out);
-            // replace it with the current candidate.
+            // The tree node went stale (page rewritten or swapped out)
+            // — or, vanishingly rarely, its digest collides with ours;
+            // either way, replace it with the current candidate.
             it->second = {vm, gfn};
-            stats_.inc("ksm.stale_unstable_nodes");
+            ++stat_stale_unstable_;
             return true;
         }
         Hfn fresh = hv_.ksmMakeStable(ovm, ogfn);
         jtps_assert(fresh != invalidFrame);
-        stable_tree_.emplace(*data, fresh);
+        stable_tree_[digest].push_back(fresh);
         unstable_tree_.erase(it);
         if (hv_.ksmMergeInto(fresh, vm, gfn)) {
             ++merges_this_pass_;
             ++merges_total_;
-            stats_.inc("ksm.unstable_promotions");
+            ++stat_unstable_promotions_;
         }
         return true;
     }
 
-    unstable_tree_.emplace(*data, std::make_pair(vm, gfn));
+    unstable_tree_.emplace(digest, std::make_pair(vm, gfn));
     return true;
 }
 
@@ -171,7 +192,7 @@ KsmScanner::scanBatch()
             ++visited;
         ++cur_gfn_;
     }
-    stats_.inc("ksm.pages_visited", visited);
+    stat_pages_visited_ += visited;
     return visited;
 }
 
@@ -211,25 +232,13 @@ KsmScanner::runToQuiescence(std::uint64_t max_full_scans)
 std::uint64_t
 KsmScanner::pagesShared() const
 {
-    std::uint64_t shared = 0;
-    hv_.frames().forEachResident(
-        [&](Hfn, const mem::Frame &f) {
-            if (f.ksmStable)
-                ++shared;
-        });
-    return shared;
+    return hv_.frames().ksmStableFrames();
 }
 
 std::uint64_t
 KsmScanner::pagesSharing() const
 {
-    std::uint64_t sharing = 0;
-    hv_.frames().forEachResident(
-        [&](Hfn, const mem::Frame &f) {
-            if (f.ksmStable && f.refcount > 1)
-                sharing += f.refcount - 1;
-        });
-    return sharing;
+    return hv_.frames().ksmSharingMappings();
 }
 
 Bytes

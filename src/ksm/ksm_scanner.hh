@@ -13,22 +13,31 @@
  *  - A page whose 32-bit checksum changed since the last visit is "not
  *    calm" and is skipped — this is what keeps GC-churned Java heap
  *    pages from being merged, and why only *stable* zero pages share.
- *  - Calm pages are looked up in the *stable tree* (content-ordered tree
- *    of already-shared KSM pages). A hit merges the candidate into the
+ *  - Calm pages are looked up in the *stable tree* (already-shared KSM
+ *    pages indexed by content). A hit merges the candidate into the
  *    stable frame copy-on-write.
  *  - Otherwise the *unstable tree* (rebuilt every full scan) is
  *    searched; a content match promotes the pair to a new stable node.
  *
  * Stale stable-tree nodes (frame freed or COW-diverged) are pruned
  * lazily on lookup, as in the real implementation.
+ *
+ * Unlike ksmd's red-black trees, both structures here are hash indexes
+ * keyed by the 64-bit content digest (ESX finds sharing candidates the
+ * same way — Waldspurger, "Memory Resource Management in VMware ESX
+ * Server", OSDI 2002): one probe per visited page instead of O(log n)
+ * 64-byte lexicographic compares. The full 8-word compare still runs
+ * on every bucket hit, so a digest collision can only cost a missed
+ * merge, never a wrong one.
  */
 
 #ifndef JTPS_KSM_KSM_SCANNER_HH
 #define JTPS_KSM_KSM_SCANNER_HH
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "base/stats.hh"
 #include "base/types.hh"
@@ -129,8 +138,11 @@ class KsmScanner
     /** Advance the cursor; returns false at the end of a full pass. */
     bool advanceCursor();
 
-    /** Look up @p data in the stable tree, pruning stale nodes. */
-    Hfn stableLookup(const mem::PageData &data);
+    /**
+     * Look up @p data (whose digest is @p digest) in the stable tree,
+     * pruning stale nodes and emptied digest buckets.
+     */
+    Hfn stableLookup(const mem::PageData &data, std::uint64_t digest);
 
     hv::Hypervisor &hv_;
     KsmConfig cfg_;
@@ -145,11 +157,24 @@ class KsmScanner
     std::uint64_t merges_this_pass_ = 0;
     std::uint64_t merges_total_ = 0;
 
-    /** Stable tree: content -> shared frames (duplicates form
-     *  max_page_sharing chains, hence the multimap). */
-    std::multimap<mem::PageData, Hfn> stable_tree_;
-    /** Unstable tree: content -> candidate page; cleared each pass. */
-    std::map<mem::PageData, std::pair<VmId, Gfn>> unstable_tree_;
+    /** Stable tree: content digest -> stable frames holding that
+     *  content, in creation order (duplicates past max_page_sharing
+     *  form chains, hence the vector). */
+    std::unordered_map<std::uint64_t, std::vector<Hfn>> stable_tree_;
+    /** Unstable tree: content digest -> candidate page seen earlier
+     *  this pass; cleared at every pass boundary. */
+    std::unordered_map<std::uint64_t, std::pair<VmId, Gfn>>
+        unstable_tree_;
+
+    // Cached counter handles: scanOne() runs per visited page, so the
+    // string-keyed StatSet lookups are hoisted out of the hot loop.
+    std::uint64_t &stat_stale_stable_;
+    std::uint64_t &stat_stale_unstable_;
+    std::uint64_t &stat_skipped_huge_;
+    std::uint64_t &stat_not_calm_;
+    std::uint64_t &stat_stable_merges_;
+    std::uint64_t &stat_unstable_promotions_;
+    std::uint64_t &stat_pages_visited_;
 };
 
 } // namespace jtps::ksm

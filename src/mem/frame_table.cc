@@ -49,8 +49,15 @@ void
 FrameTable::freeRaw(Hfn hfn)
 {
     jtps_assert(isAllocated(hfn));
+    jtps_assert(frames_[hfn].refcount == 0);
     allocated_[hfn] = false;
-    frames_[hfn].ksmStable = false;
+    if (frames_[hfn].ksmStable) {
+        // All mappings are already gone (refcount 0), so the frame's
+        // sharing contribution was removed mapping by mapping; only
+        // the stable-frame count remains to drop.
+        --ksm_stable_frames_;
+        frames_[hfn].ksmStable = false;
+    }
     frames_[hfn].extra.clear();
     free_list_.push_back(hfn);
     --resident_;
@@ -90,6 +97,8 @@ FrameTable::addMapping(Hfn hfn, const Mapping &m)
     jtps_assert(f.refcount >= 1);
     f.extra.push_back(m);
     ++f.refcount;
+    if (f.ksmStable)
+        ++ksm_sharing_mappings_;
     if (stats_)
         stats_->inc("host.mappings_added");
 }
@@ -110,6 +119,8 @@ FrameTable::removeMapping(Hfn hfn, const Mapping &m)
         f.primary = f.extra.back();
         f.extra.pop_back();
         --f.refcount;
+        if (f.ksmStable)
+            --ksm_sharing_mappings_;
         return false;
     }
 
@@ -117,7 +128,26 @@ FrameTable::removeMapping(Hfn hfn, const Mapping &m)
     jtps_assert(it != f.extra.end());
     f.extra.erase(it);
     --f.refcount;
+    if (f.ksmStable)
+        --ksm_sharing_mappings_;
     return false;
+}
+
+void
+FrameTable::setKsmStable(Hfn hfn, bool stable)
+{
+    Frame &f = frame(hfn);
+    if (f.ksmStable == stable)
+        return;
+    jtps_assert(!f.pinned && f.refcount >= 1);
+    f.ksmStable = stable;
+    if (stable) {
+        ++ksm_stable_frames_;
+        ksm_sharing_mappings_ += f.refcount - 1;
+    } else {
+        --ksm_stable_frames_;
+        ksm_sharing_mappings_ -= f.refcount - 1;
+    }
 }
 
 void
@@ -204,6 +234,8 @@ void
 FrameTable::checkConsistency() const
 {
     std::uint64_t resident_count = 0;
+    std::uint64_t stable_count = 0;
+    std::uint64_t sharing_count = 0;
     for (Hfn h = 0; h < frames_.size(); ++h) {
         if (!allocated_[h]) {
             continue;
@@ -215,8 +247,16 @@ FrameTable::checkConsistency() const
         } else {
             jtps_assert(f.refcount == 1 + f.extra.size());
         }
+        if (f.ksmStable) {
+            ++stable_count;
+            sharing_count += f.refcount - 1;
+        }
     }
     jtps_assert(resident_count == resident_);
+    // The O(1) sharing counters must agree with a full recount, or the
+    // incremental bookkeeping drifted somewhere.
+    jtps_assert(stable_count == ksm_stable_frames_);
+    jtps_assert(sharing_count == ksm_sharing_mappings_);
 }
 
 } // namespace jtps::mem

@@ -117,6 +117,29 @@ class FrameTable
     /** Free a pinned frame. */
     void freePinned(Hfn hfn);
 
+    /**
+     * Mark/unmark @p hfn as a KSM stable frame. All stable-flag changes
+     * go through here (not through frame().ksmStable) so that the O(1)
+     * sharing counters stay consistent.
+     */
+    void setKsmStable(Hfn hfn, bool stable);
+
+    /**
+     * Number of KSM stable frames, like /sys/kernel/mm/ksm/pages_shared.
+     * Maintained incrementally: the sharing monitor samples this on a
+     * period, and a full-table walk per sample does not scale.
+     */
+    std::uint64_t ksmStableFrames() const { return ksm_stable_frames_; }
+
+    /**
+     * Number of guest pages deduplicated into stable frames, like
+     * pages_sharing: sum over stable frames of refcount - 1. O(1).
+     */
+    std::uint64_t ksmSharingMappings() const
+    {
+        return ksm_sharing_mappings_;
+    }
+
     /** Mutable access to a frame (must be allocated). */
     Frame &frame(Hfn hfn);
 
@@ -173,6 +196,10 @@ class FrameTable
 
     std::uint64_t capacity_;
     std::uint64_t resident_ = 0;
+    /** Incremental counters behind ksmStableFrames()/ksmSharingMappings();
+     *  checkConsistency() cross-checks them against a full walk. */
+    std::uint64_t ksm_stable_frames_ = 0;
+    std::uint64_t ksm_sharing_mappings_ = 0;
     std::vector<Frame> frames_;
     std::vector<bool> allocated_;
     std::vector<Hfn> free_list_;

@@ -69,9 +69,14 @@ struct PageData
     std::uint32_t
     checksum() const
     {
+        // Feed the low and high half of every word into the mixer
+        // separately so each 32-bit half contributes to the truncated
+        // result on its own, not only through the final xor-fold.
         std::uint64_t h = 0x4b534d63686b00ULL; // "KSMchk"
-        for (auto w : word)
-            h = hashCombine(h, w);
+        for (auto w : word) {
+            h = hashCombine(h, w & 0xffffffffULL);
+            h = hashCombine(h, w >> 32);
+        }
         return static_cast<std::uint32_t>(h ^ (h >> 32));
     }
 

@@ -4,7 +4,9 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -12,6 +14,7 @@
 #include "base/rng.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "base/units.hh"
 
 using namespace jtps;
@@ -172,6 +175,49 @@ TEST(Stats, CountersAndScalars)
     EXPECT_NE(s.render().find("pi"), std::string::npos);
     s.clear();
     EXPECT_FALSE(s.has("x"));
+}
+
+TEST(Stats, CounterHandleIsStableAcrossInsertions)
+{
+    StatSet s;
+    std::uint64_t &x = s.counter("hot.x");
+    x += 3;
+    // Insert many more counters: the handle must stay valid (node-based
+    // map) and keep addressing the same counter.
+    for (int i = 0; i < 200; ++i)
+        s.inc("filler." + std::to_string(i));
+    x += 2;
+    EXPECT_EQ(s.get("hot.x"), 5u);
+    s.inc("hot.x");
+    EXPECT_EQ(x, 6u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedJob)
+{
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&done]() { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+
+    // The pool is reusable after a wait().
+    pool.submit([&done]() { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 101);
+}
+
+TEST(ThreadPool, ResultsLandInTheirOwnSlots)
+{
+    // The sweep() pattern: each job writes only its pre-assigned slot,
+    // so the collected vector is identical at any thread count.
+    std::vector<std::uint64_t> results(64, 0);
+    ThreadPool pool(3);
+    for (std::size_t i = 0; i < results.size(); ++i)
+        pool.submit([&results, i]() { results[i] = mix64(i); });
+    pool.wait();
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], mix64(i));
 }
 
 TEST(Table, AlignedRender)

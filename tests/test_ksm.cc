@@ -189,6 +189,75 @@ TEST_F(KsmFixture, MaxPageSharingFormsChains)
     hv->checkConsistency();
 }
 
+TEST_F(KsmFixture, FullChainStartsNewStableNode)
+{
+    // Fill one stable frame exactly to max_page_sharing, then present
+    // one more duplicate: it must start a *new* stable node (a chain
+    // duplicate) rather than exceed the cap or go unmerged.
+    KsmConfig cfg;
+    cfg.pagesToScan = 100000;
+    cfg.maxPageSharing = 3;
+    KsmScanner limited(*hv, cfg, stats);
+
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    PageData d = PageData::filled(12, 12);
+    for (Gfn g = 0; g < 3; ++g)
+        hv->writePage(a, g, d);
+    limited.runToQuiescence();
+
+    // Three identical pages, cap 3: one stable frame holding all three.
+    ASSERT_EQ(limited.pagesShared(), 1u);
+    ASSERT_EQ(limited.pagesSharing(), 2u);
+    Hfn first = hv->translate(a, 0);
+    EXPECT_EQ(hv->frames().frame(first).refcount, 3u);
+
+    // The fourth duplicate finds the chain head full and must become a
+    // second stable node with the same content.
+    hv->writePage(a, 3, d);
+    hv->writePage(a, 4, d);
+    limited.runToQuiescence();
+    EXPECT_EQ(limited.pagesShared(), 2u);
+    EXPECT_EQ(limited.pagesSharing(), 3u);
+    EXPECT_NE(hv->translate(a, 3), first);
+    hv->frames().forEachResident([&](Hfn, const mem::Frame &f) {
+        if (f.ksmStable) {
+            EXPECT_LE(f.refcount, 3u);
+        }
+    });
+    hv->checkConsistency();
+}
+
+TEST_F(KsmFixture, StaleDigestBucketsArePrunedLazily)
+{
+    // A stable node whose frame died is only discovered — and its
+    // digest bucket cleaned up — when a lookup next probes that
+    // content, mirroring ksmd's lazy stable-tree pruning.
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    PageData d = PageData::filled(13, 13);
+    hv->writePage(a, 0, d);
+    hv->writePage(b, 0, d);
+    scanner->runToQuiescence();
+    ASSERT_EQ(scanner->pagesShared(), 1u);
+
+    // Kill the stable frame: the index entry is now stale, but nothing
+    // is pruned until the digest is probed again.
+    hv->discardPage(a, 0);
+    hv->discardPage(b, 0);
+    EXPECT_EQ(stats.get("ksm.stale_stable_nodes"), 0u);
+
+    // New pages with the same content hit the stale bucket, prune it,
+    // and then merge through the unstable tree as a fresh pair.
+    hv->writePage(a, 1, d);
+    hv->writePage(b, 1, d);
+    scanner->runToQuiescence();
+    EXPECT_GE(stats.get("ksm.stale_stable_nodes"), 1u);
+    EXPECT_EQ(scanner->pagesShared(), 1u);
+    EXPECT_EQ(scanner->pagesSharing(), 1u);
+    EXPECT_EQ(hv->translate(a, 1), hv->translate(b, 1));
+    hv->checkConsistency();
+}
+
 TEST_F(KsmFixture, StaleStableNodesArePruned)
 {
     VmId a = hv->createVm("a", 1 * MiB, 0);

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/rng.hh"
 #include "mem/frame_table.hh"
 #include "mem/page_data.hh"
 #include "mem/swap_device.hh"
@@ -43,6 +44,29 @@ TEST(PageData, ChecksumTracksContent)
     b.word[3] ^= 1;
     EXPECT_NE(a.checksum(), b.checksum());
     EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(PageData, ChecksumSensitiveToEverySectorPosition)
+{
+    // The calm filter relies on the 32-bit checksum changing when any
+    // single sector changes — in either half of the sector word.
+    const PageData base = PageData::filled(21, 34);
+    for (unsigned s = 0; s < mem::sectorsPerPage; ++s) {
+        PageData low_flip = base;
+        low_flip.word[s] ^= 1;
+        EXPECT_NE(base.checksum(), low_flip.checksum())
+            << "low-half flip in sector " << s;
+
+        PageData high_flip = base;
+        high_flip.word[s] ^= 1ULL << 63;
+        EXPECT_NE(base.checksum(), high_flip.checksum())
+            << "high-half flip in sector " << s;
+
+        PageData from_zero = PageData::zero();
+        from_zero.word[s] = 1;
+        EXPECT_NE(PageData::zero().checksum(), from_zero.checksum())
+            << "zero-page flip in sector " << s;
+    }
 }
 
 TEST(PageData, OrderingIsStrictWeak)
@@ -175,6 +199,90 @@ TEST(FrameTable, ConsistencyCheckCountsResident)
         ft.removeMapping(frames[i], {0, static_cast<Gfn>(i)});
     EXPECT_EQ(ft.resident(), 10u);
     ft.checkConsistency();
+}
+
+TEST(FrameTable, KsmCountersTrackStableFlagAndMappings)
+{
+    FrameTable ft(8);
+    EXPECT_EQ(ft.ksmStableFrames(), 0u);
+    EXPECT_EQ(ft.ksmSharingMappings(), 0u);
+
+    Hfn h = ft.alloc({0, 0}, PageData::filled(1, 1));
+    ft.addMapping(h, {1, 0});
+    ft.setKsmStable(h, true);
+    EXPECT_EQ(ft.ksmStableFrames(), 1u);
+    EXPECT_EQ(ft.ksmSharingMappings(), 1u); // refcount 2 => 1 saved
+
+    ft.addMapping(h, {2, 0});
+    EXPECT_EQ(ft.ksmSharingMappings(), 2u);
+    ft.removeMapping(h, {1, 0});
+    EXPECT_EQ(ft.ksmSharingMappings(), 1u);
+    ft.checkConsistency();
+
+    // Unmarking restores both counters.
+    ft.setKsmStable(h, false);
+    EXPECT_EQ(ft.ksmStableFrames(), 0u);
+    EXPECT_EQ(ft.ksmSharingMappings(), 0u);
+    ft.setKsmStable(h, true);
+
+    // Freeing the frame via its last mappings zeroes everything.
+    ft.removeMapping(h, {0, 0});
+    EXPECT_TRUE(ft.removeMapping(h, {2, 0}));
+    EXPECT_EQ(ft.ksmStableFrames(), 0u);
+    EXPECT_EQ(ft.ksmSharingMappings(), 0u);
+    ft.checkConsistency();
+}
+
+TEST(FrameTable, KsmCountersMatchRecountUnderRandomWorkload)
+{
+    // Randomized mark/share/unmap/free churn directly against the
+    // frame table; the O(1) counters must equal a full recount at
+    // every checkpoint (checkConsistency also cross-checks them).
+    FrameTable ft(128);
+    Rng rng(20130421);
+    std::vector<std::pair<Hfn, Mapping>> live; // one entry per mapping
+    std::uint64_t next_gfn = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+        const int op = rng.nextBelow(100);
+        if (op < 35 || live.empty()) {
+            if (ft.freeFrames() == 0)
+                continue;
+            Mapping m{0, next_gfn++};
+            Hfn h = ft.alloc(m, PageData::filled(rng.nextBelow(4), 0));
+            live.push_back({h, m});
+        } else if (op < 55) {
+            // Share some existing frame (KSM merge).
+            const auto &[h, m0] = live[rng.nextBelow(live.size())];
+            Mapping m{1, next_gfn++};
+            ft.addMapping(h, m);
+            live.push_back({h, m});
+        } else if (op < 75) {
+            // Toggle stable state (promote / COW-divergence cleanup).
+            const auto &[h, m] = live[rng.nextBelow(live.size())];
+            ft.setKsmStable(h, rng.bernoulli(0.7));
+        } else {
+            // Unmap (COW break or free).
+            const std::size_t i = rng.nextBelow(live.size());
+            const auto [h, m] = live[i];
+            live.erase(live.begin() + i);
+            ft.removeMapping(h, m);
+        }
+
+        if (step % 200 == 0) {
+            std::uint64_t stable = 0, sharing = 0;
+            ft.forEachResident([&](Hfn, const Frame &f) {
+                if (f.ksmStable) {
+                    ++stable;
+                    sharing += f.refcount - 1;
+                }
+            });
+            ASSERT_EQ(ft.ksmStableFrames(), stable) << "step " << step;
+            ASSERT_EQ(ft.ksmSharingMappings(), sharing)
+                << "step " << step;
+            ft.checkConsistency();
+        }
+    }
 }
 
 TEST(SwapDevice, StoreAndTake)

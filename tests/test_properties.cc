@@ -121,6 +121,91 @@ INSTANTIATE_TEST_SUITE_P(Seeds, HvFuzz,
 namespace
 {
 
+class SharingCounterFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(SharingCounterFuzz, CountersMatchFullRecountUnderMergeCowFree)
+{
+    // The O(1) pages_shared / pages_sharing counters are bumped at
+    // every ksmMakeStable / ksmMergeInto / COW break / unmap / evict;
+    // after a randomized workload they must equal what a full
+    // frame-table walk reports.
+    const std::uint64_t seed = GetParam();
+    Rng rng(seed);
+    StatSet stats;
+
+    hv::HostConfig host;
+    host.ramBytes = 96 * pageSize; // tight: eviction hits shared frames
+    host.reserveBytes = 0;
+    KvmHypervisor hv(host, stats);
+
+    constexpr int num_vms = 3;
+    constexpr Gfn pages_per_vm = 48;
+    for (int v = 0; v < num_vms; ++v)
+        hv.createVm("vm" + std::to_string(v), pages_per_vm * pageSize, 0);
+
+    KsmConfig kcfg;
+    kcfg.pagesToScan = 1000;
+    KsmScanner scanner(hv, kcfg, stats);
+
+    auto recount = [&](std::uint64_t &shared, std::uint64_t &sharing) {
+        shared = sharing = 0;
+        hv.frames().forEachResident(
+            [&](Hfn, const mem::Frame &f) {
+                if (f.ksmStable) {
+                    ++shared;
+                    sharing += f.refcount - 1;
+                }
+            });
+    };
+
+    for (int step = 0; step < 2500; ++step) {
+        const VmId vm = rng.nextBelow(num_vms);
+        const Gfn gfn = rng.nextBelow(pages_per_vm);
+        const int op = rng.nextBelow(100);
+
+        if (op < 40) {
+            // Small content space => many mergeable duplicates.
+            hv.writePage(vm, gfn, PageData::filled(rng.nextBelow(5), 0));
+        } else if (op < 55) {
+            // Word write: COW-breaks shared pages.
+            hv.writeWord(vm, gfn, rng.nextBelow(mem::sectorsPerPage),
+                         rng.nextBelow(3));
+        } else if (op < 70) {
+            hv.discardPage(vm, gfn);
+        } else if (op < 90) {
+            scanner.scanBatch();
+        } else {
+            hv.touchPage(vm, gfn);
+        }
+
+        if (step % 250 == 0) {
+            std::uint64_t shared = 0, sharing = 0;
+            recount(shared, sharing);
+            ASSERT_EQ(scanner.pagesShared(), shared)
+                << "seed=" << seed << " step=" << step;
+            ASSERT_EQ(scanner.pagesSharing(), sharing)
+                << "seed=" << seed << " step=" << step;
+        }
+    }
+
+    scanner.runToQuiescence();
+    std::uint64_t shared = 0, sharing = 0;
+    recount(shared, sharing);
+    EXPECT_EQ(scanner.pagesShared(), shared);
+    EXPECT_EQ(scanner.pagesSharing(), sharing);
+    hv.checkConsistency();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharingCounterFuzz,
+                         ::testing::Values(4, 9, 16, 25, 36, 49));
+
+namespace
+{
+
 class CollapseFuzz : public ::testing::TestWithParam<std::uint64_t>
 {
 };
