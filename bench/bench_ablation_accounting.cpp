@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -37,12 +38,19 @@ main()
                 "owner shared", "PSS (MiB)");
     std::printf("%s\n", std::string(64, '-').c_str());
 
+    bench::BenchJson json("ablation_accounting", "§II.A ablation");
     for (const auto &row : scenario.javaRows()) {
         const auto &pu = owner.usage(row.vm, row.pid);
         std::printf("%-8s %18s %18s %14.1f\n", row.label.c_str(),
                     formatMiB(pu.ownedTotal()).c_str(),
                     formatMiB(pu.sharedTotal()).c_str(),
                     pss.pss(row.vm, row.pid) / MiB);
+        json.beginRow();
+        json.field("process", row.label);
+        json.field("owner_owned_bytes", pu.ownedTotal());
+        json.field("owner_shared_bytes", pu.sharedTotal());
+        json.field("pss_bytes", pss.pss(row.vm, row.pid));
+        json.endRow();
     }
 
     std::printf("\nconservation: owner-attributed=%s MiB, "
@@ -50,6 +58,10 @@ main()
                 formatMiB(owner.attributedBytes()).c_str(),
                 pss.totalBytes() / MiB,
                 formatMiB(owner.residentBytes()).c_str());
+    json.summaryField("owner_attributed_bytes", owner.attributedBytes());
+    json.summaryField("pss_total_bytes", pss.totalBytes());
+    json.summaryField("resident_bytes", owner.residentBytes());
+    json.write();
     std::printf("\nthe owner-based view directly answers the paper's "
                 "question: how much extra physical memory does one more "
                 "VM cost? (its non-primary processes' pages are free)\n");

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -32,7 +33,8 @@ nonPrimaryJavaSaving(core::Scenario &scenario)
 }
 
 void
-runCase(const char *label, bool enable, jvm::CacheScope scope, bool copy)
+runCase(bench::BenchJson &json, const char *label, bool enable,
+        jvm::CacheScope scope, bool copy)
 {
     core::ScenarioConfig cfg = bench::paperConfig(enable);
     cfg.cacheScope = scope;
@@ -43,9 +45,15 @@ runCase(const char *label, bool enable, jvm::CacheScope scope, bool copy)
     core::Scenario scenario(cfg, vms);
     scenario.build();
     scenario.run();
-    std::printf("%-34s %14s MiB\n", label,
-                formatMiB(nonPrimaryJavaSaving(scenario)).c_str());
+    const Bytes saving = nonPrimaryJavaSaving(scenario);
+    std::printf("%-34s %14s MiB\n", label, formatMiB(saving).c_str());
     std::fflush(stdout);
+    json.beginRow();
+    json.field("configuration", label);
+    json.field("class_sharing", enable);
+    json.field("copied_cache", copy);
+    json.field("java_saving_per_vm_bytes", saving);
+    json.endRow();
 }
 
 } // namespace
@@ -58,14 +66,16 @@ main()
                 "non-primary Java process (DayTrader x 4)\n\n");
     std::printf("%-34s %18s\n", "configuration", "Java saving/VM");
     std::printf("%s\n", std::string(54, '-').c_str());
-    runCase("no class sharing", false, jvm::CacheScope::MiddlewareOnly,
-            true);
-    runCase("per-VM cache population", true,
-            jvm::CacheScope::MiddlewareOnly, false);
-    runCase("copied cache, middleware-only", true,
+    bench::BenchJson json("ablation_cache_scope", "§IV.B-C ablation");
+    runCase(json, "no class sharing", false,
             jvm::CacheScope::MiddlewareOnly, true);
-    runCase("copied cache, all cacheable", true,
+    runCase(json, "per-VM cache population", true,
+            jvm::CacheScope::MiddlewareOnly, false);
+    runCase(json, "copied cache, middleware-only", true,
+            jvm::CacheScope::MiddlewareOnly, true);
+    runCase(json, "copied cache, all cacheable", true,
             jvm::CacheScope::AllCacheable, true);
+    json.write();
     std::printf("\nthe copy is what creates cross-VM page equality; "
                 "locally-populated caches share almost nothing extra\n");
     return 0;

@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -22,7 +23,8 @@ namespace
 {
 
 void
-runPolicy(const char *label, jvm::GcConfig::Policy policy)
+runPolicy(bench::BenchJson &json, const char *label,
+          jvm::GcConfig::Policy policy)
 {
     auto spec = workload::dayTraderIntel();
     spec.gc.policy = policy;
@@ -62,6 +64,14 @@ runPolicy(const char *label, jvm::GcConfig::Policy policy)
                 formatMiB(heap_shared).c_str(), pct,
                 (unsigned long long)global_gcs,
                 (unsigned long long)minor_gcs);
+    json.beginRow();
+    json.field("policy", label);
+    json.field("heap_use_bytes", heap_use);
+    json.field("heap_shared_bytes", heap_shared);
+    json.field("heap_shared_pct", pct);
+    json.field("global_gcs", global_gcs);
+    json.field("minor_gcs", minor_gcs);
+    json.endRow();
 }
 
 } // namespace
@@ -72,8 +82,10 @@ main()
     setVerbose(false);
     std::printf("Ablation — GC policy vs Java-heap TPS sharing "
                 "(DayTrader x 4, default configuration)\n\n");
-    runPolicy("optthruput", jvm::GcConfig::Policy::OptThruput);
-    runPolicy("gencon", jvm::GcConfig::Policy::Gencon);
+    bench::BenchJson json("ablation_gc_policy", "§III.A ablation");
+    runPolicy(json, "optthruput", jvm::GcConfig::Policy::OptThruput);
+    runPolicy(json, "gencon", jvm::GcConfig::Policy::Gencon);
+    json.write();
     std::printf("\npaper: ~0.7%% of the heap shared, all transient "
                 "zero-filled pages, under either policy\n");
     return 0;

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -63,13 +64,22 @@ main()
                                                10000u};
     const std::vector<Row> rows = bench::sweep(points, measure);
 
+    bench::BenchJson json("ablation_ksm_tuning", "§IV.A ablation");
     for (std::size_t i = 0; i < points.size(); ++i) {
         std::printf("%-14u %-10llu %14llu %14s %11.1f%%\n", points[i],
                     (unsigned long long)rows[i].sleepMs,
                     (unsigned long long)rows[i].fullScans,
                     formatMiB(rows[i].savedBytes).c_str(),
                     rows[i].cpuUsage * 100.0);
+        json.beginRow();
+        json.field("pages_to_scan", points[i]);
+        json.field("sleep_ms", rows[i].sleepMs);
+        json.field("full_scans", rows[i].fullScans);
+        json.field("saved_bytes", rows[i].savedBytes);
+        json.field("cpu_usage", rows[i].cpuUsage);
+        json.endRow();
     }
+    json.write();
     std::printf("\npaper operating points: 10,000 pages/100ms during "
                 "warm-up (~25%% CPU), 1,000 (~2%%) during measurement\n");
     return 0;

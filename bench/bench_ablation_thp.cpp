@@ -14,6 +14,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -21,7 +22,7 @@ namespace
 {
 
 void
-runCase(const char *label, bool cds, bool thp)
+runCase(bench::BenchJson &json, const char *label, bool cds, bool thp)
 {
     core::ScenarioConfig cfg = bench::paperConfig(cds);
     cfg.guestThp = thp;
@@ -49,6 +50,14 @@ runCase(const char *label, bool cds, bool thp)
                 (unsigned long long)scenario.stats().get(
                     "ksm.skipped_huge"));
     std::fflush(stdout);
+    json.beginRow();
+    json.field("configuration", label);
+    json.field("class_sharing", cds);
+    json.field("thp", thp);
+    json.field("java_saving_bytes", java_saving);
+    json.field("class_shared_bytes", class_shared);
+    json.field("huge_skips", scenario.stats().get("ksm.skipped_huge"));
+    json.endRow();
 }
 
 } // namespace
@@ -62,10 +71,12 @@ main()
     std::printf("%-34s %18s %20s %16s\n", "configuration",
                 "Java saving", "class shared", "huge skips");
     std::printf("%s\n", std::string(90, '-').c_str());
-    runCase("default, THP off", false, false);
-    runCase("default, THP on", false, true);
-    runCase("class cache, THP off", true, false);
-    runCase("class cache, THP on", true, true);
+    bench::BenchJson json("ablation_thp", "§III ablation");
+    runCase(json, "default, THP off", false, false);
+    runCase(json, "default, THP on", false, true);
+    runCase(json, "class cache, THP off", true, false);
+    runCase(json, "class cache, THP on", true, true);
+    json.write();
     std::printf("\nthe copied cache file is page-cache-backed, so its "
                 "sharing survives THP; anonymous-page sharing does "
                 "not\n");

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -30,6 +31,9 @@ main()
         "Fig. 2 — physical memory usage + TPS savings, DayTrader x 4, "
         "default configuration");
 
+    bench::BenchJson json("fig2_baseline", "Fig. 2");
+    bench::emitVmBreakdownRows(json, scenario);
+
     auto &ksm = scenario.ksm();
     std::printf("ksm: full_scans=%llu pages_shared=%llu "
                 "pages_sharing=%llu saved=%s MiB cpu(steady)=%.1f%%\n",
@@ -38,5 +42,11 @@ main()
                 (unsigned long long)ksm.pagesSharing(),
                 formatMiB(ksm.savedBytes()).c_str(),
                 ksm.cpuUsage() * 100.0);
+    json.summaryField("full_scans", ksm.fullScans());
+    json.summaryField("pages_shared", ksm.pagesShared());
+    json.summaryField("pages_sharing", ksm.pagesSharing());
+    json.summaryField("saved_bytes", ksm.savedBytes());
+    json.summaryField("cpu_usage", ksm.cpuUsage());
+    json.write();
     return 0;
 }

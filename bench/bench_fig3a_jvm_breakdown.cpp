@@ -12,6 +12,7 @@
 
 #include "analysis/sharing_sources.hh"
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -36,6 +37,10 @@ main()
                     100.0 *
                         bench::classMetadataSharedFraction(acct, row));
     }
+
+    bench::BenchJson json("fig3a_jvm_breakdown", "Fig. 3(a)");
+    bench::emitJavaBreakdownRows(json, scenario);
+    json.write();
 
     // The paper's §III.A source analysis for one non-primary guest.
     std::printf("\nsources of TPS-shared pages in VM2 (paper: NIO "

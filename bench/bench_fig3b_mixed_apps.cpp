@@ -8,6 +8,7 @@
  */
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -29,5 +30,9 @@ main()
         "Fig. 3(b) — DayTrader / SPECjEnterprise / TPC-W in the same "
         "WAS, default configuration (JVM1=DayTrader, "
         "JVM2=SPECjEnterprise, JVM3=TPC-W)");
+
+    bench::BenchJson json("fig3b_mixed_apps", "Fig. 3(b)");
+    bench::emitJavaBreakdownRows(json, scenario);
+    json.write();
     return 0;
 }

@@ -6,6 +6,7 @@
  */
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -23,5 +24,9 @@ main()
         scenario,
         "Fig. 3(c) — three Tuscany bigbank processes, default "
         "configuration");
+
+    bench::BenchJson json("fig3c_tuscany", "Fig. 3(c)");
+    bench::emitJavaBreakdownRows(json, scenario);
+    json.write();
     return 0;
 }

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -49,5 +50,11 @@ main()
                 "(paper: 3648 -> 3314 MiB)\n",
                 formatMiB(base_total).c_str(),
                 formatMiB(cds_total).c_str());
+
+    bench::BenchJson json("fig4_preloaded", "Fig. 4");
+    bench::emitVmBreakdownRows(json, scenario);
+    json.summaryField("default_total_bytes", base_total);
+    json.summaryField("preloaded_total_bytes", cds_total);
+    json.write();
     return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 #include "jvm/shared_class_cache.hh"
 
 using namespace jtps;
@@ -38,6 +39,10 @@ main()
     std::printf("max class-metadata sharing: %.1f%%  (paper: 89.6%%)\n",
                 100.0 * best);
 
+    bench::BenchJson json("fig5a_jvm_breakdown", "Fig. 5(a)");
+    bench::emitJavaBreakdownRows(json, scenario);
+    json.summaryField("max_class_metadata_shared_fraction", best);
+
     // §V.A provenance: rebuild the deployed cache and report origin mix.
     auto spec = workload::dayTraderIntel();
     jvm::ClassSet classes = jvm::ClassSet::synthesize(spec.classSpec);
@@ -58,5 +63,17 @@ main()
                     cache.storedBytesByOrigin(
                         jvm::ClassOrigin::Application) /
                     total);
+    json.summaryField("cache_middleware_fraction",
+                      cache.storedBytesByOrigin(
+                          jvm::ClassOrigin::Middleware) /
+                          total);
+    json.summaryField("cache_system_fraction",
+                      cache.storedBytesByOrigin(jvm::ClassOrigin::System) /
+                          total);
+    json.summaryField("cache_application_fraction",
+                      cache.storedBytesByOrigin(
+                          jvm::ClassOrigin::Application) /
+                          total);
+    json.write();
     return 0;
 }

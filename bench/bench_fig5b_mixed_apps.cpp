@@ -10,6 +10,7 @@
  */
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -38,5 +39,9 @@ main()
                     100.0 *
                         bench::classMetadataSharedFraction(acct, row));
     }
+
+    bench::BenchJson json("fig5b_mixed_apps", "Fig. 5(b)");
+    bench::emitJavaBreakdownRows(json, scenario);
+    json.write();
     return 0;
 }

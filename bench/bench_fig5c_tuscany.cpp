@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -32,5 +33,9 @@ main()
                     100.0 *
                         bench::classMetadataSharedFraction(acct, row));
     }
+
+    bench::BenchJson json("fig5c_tuscany", "Fig. 5(c)");
+    bench::emitJavaBreakdownRows(json, scenario);
+    json.write();
     return 0;
 }

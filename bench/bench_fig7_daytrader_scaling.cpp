@@ -15,13 +15,21 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
 namespace
 {
 
-double
+struct Result
+{
+    double rqPerSec = 0.0;
+    std::uint64_t pagesShared = 0;
+    std::uint64_t pagesSharing = 0;
+};
+
+Result
 measure(int num_vms, bool class_sharing)
 {
     core::ScenarioConfig cfg = bench::paperConfig(class_sharing);
@@ -32,7 +40,8 @@ measure(int num_vms, bool class_sharing)
     core::Scenario scenario(cfg, vms);
     scenario.build();
     scenario.run();
-    return scenario.aggregateThroughput(12);
+    return {scenario.aggregateThroughput(12),
+            scenario.ksm().pagesShared(), scenario.ksm().pagesSharing()};
 }
 
 struct SweepPoint
@@ -60,15 +69,27 @@ main()
         points.push_back({n, false});
         points.push_back({n, true});
     }
-    const std::vector<double> results = bench::sweep(
+    const std::vector<Result> results = bench::sweep(
         points,
         [](const SweepPoint &p) { return measure(p.vms, p.preloaded); });
 
+    bench::BenchJson json("fig7_daytrader_scaling", "Fig. 7");
     for (int n = 1; n <= 9; ++n) {
-        const double def = results[2 * (n - 1)];
-        const double ours = results[2 * (n - 1) + 1];
-        std::printf("%-6d %22.1f %22.1f\n", n, def, ours);
+        const Result &def = results[2 * (n - 1)];
+        const Result &ours = results[2 * (n - 1) + 1];
+        std::printf("%-6d %22.1f %22.1f\n", n, def.rqPerSec,
+                    ours.rqPerSec);
+        json.beginRow();
+        json.field("vms", n);
+        json.field("default_rq_s", def.rqPerSec);
+        json.field("preloaded_rq_s", ours.rqPerSec);
+        json.field("default_pages_shared", def.pagesShared);
+        json.field("default_pages_sharing", def.pagesSharing);
+        json.field("preloaded_pages_shared", ours.pagesShared);
+        json.field("preloaded_pages_sharing", ours.pagesSharing);
+        json.endRow();
     }
+    json.write();
     std::printf("\npaper: linear to 7 VMs; at 8: default 17.2 vs ours "
                 "148.1; at 9: 2.9 vs 6.8\n");
     return 0;

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 
 using namespace jtps;
 
@@ -76,13 +77,22 @@ main()
         points,
         [](const SweepPoint &p) { return measure(p.vms, p.preloaded); });
 
+    bench::BenchJson json("fig8_specj_scaling", "Fig. 8");
     for (int n = 5; n <= 8; ++n) {
         const Point &def = results[2 * (n - 5)];
         const Point &ours = results[2 * (n - 5) + 1];
         std::printf("%-6d %16.1f %6s %18.1f %6s\n", n, def.score,
                     def.slaMet ? "ok" : "FAIL", ours.score,
                     ours.slaMet ? "ok" : "FAIL");
+        json.beginRow();
+        json.field("vms", n);
+        json.field("default_ejops", def.score);
+        json.field("default_sla_met", def.slaMet);
+        json.field("preloaded_ejops", ours.score);
+        json.field("preloaded_sla_met", ours.slaMet);
+        json.endRow();
     }
+    json.write();
     std::printf("\npaper: ~24 at 5-6 VMs; at 7: default ~15 (SLA fail) "
                 "vs ours ~24; at 8 both degrade\n");
     return 0;

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Machine-readable bench output.
+ *
+ * Every figure/ablation bench prints its human-readable table to
+ * stdout unconditionally; when the environment variable
+ * `JTPS_BENCH_JSON=<dir>` is set it additionally writes
+ * `<dir>/BENCH_<name>.json` with the same numbers:
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "bench": "<name>",
+ *     "figure": "<paper figure or table>",
+ *     "rows": [ {...}, ... ],      // one object per printed table row
+ *     ...summary fields...          // bench-specific totals
+ *   }
+ *
+ * Rows are emitted by the main thread after any sweep() fan-out has
+ * completed and results sit in point-ordered slots, so the file — like
+ * the printed table — is byte-identical at any JTPS_BENCH_THREADS.
+ * When the variable is unset every method is a no-op and the bench
+ * behaves exactly as before.
+ */
+
+#ifndef JTPS_BENCH_BENCH_JSON_HH
+#define JTPS_BENCH_BENCH_JSON_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "analysis/json_export.hh"
+#include "base/json_writer.hh"
+#include "base/logging.hh"
+#include "bench/bench_common.hh"
+
+namespace jtps::bench
+{
+
+class BenchJson
+{
+  public:
+    /**
+     * @param name   Bench identifier (file becomes BENCH_<name>.json).
+     * @param figure The paper figure/table this bench regenerates.
+     */
+    BenchJson(std::string name, std::string figure) : name_(std::move(name))
+    {
+        const char *env = std::getenv("JTPS_BENCH_JSON");
+        if (!env || !*env)
+            return;
+        dir_ = env;
+        enabled_ = true;
+        w_.beginObject();
+        w_.field("schema_version", analysis::jsonSchemaVersion);
+        w_.field("bench", name_);
+        w_.field("figure", figure);
+        w_.key("rows").beginArray();
+    }
+
+    /** Whether JTPS_BENCH_JSON is active (for benches that need more). */
+    bool enabled() const { return enabled_; }
+
+    /** Open the next row object inside "rows". */
+    void
+    beginRow()
+    {
+        if (enabled_) {
+            jtps_assert(!rows_closed_);
+            w_.beginObject();
+        }
+    }
+
+    /** Emit one field of the current row. */
+    template <typename T>
+    void
+    field(std::string_view key, T v)
+    {
+        if (enabled_)
+            w_.field(key, v);
+    }
+
+    void
+    endRow()
+    {
+        if (enabled_)
+            w_.endObject();
+    }
+
+    /** Open a nested object-valued field inside the current row. */
+    void
+    beginNested(std::string_view key)
+    {
+        if (enabled_) {
+            w_.key(key);
+            w_.beginObject();
+        }
+    }
+
+    void
+    endNested()
+    {
+        if (enabled_)
+            w_.endObject();
+    }
+
+    /**
+     * Emit a top-level summary field (after all rows; closes "rows" on
+     * first use).
+     */
+    template <typename T>
+    void
+    summaryField(std::string_view key, T v)
+    {
+        if (enabled_) {
+            closeRows();
+            w_.field(key, v);
+        }
+    }
+
+    /** Finish the document and write it; no-op when disabled. */
+    void
+    write()
+    {
+        if (!enabled_)
+            return;
+        closeRows();
+        w_.endObject();
+        const std::string doc = w_.str();
+
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::create_directories(fs::path(dir_), ec);
+        const std::string path = dir_ + "/BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "wb");
+        if (!f)
+            fatal("cannot open %s for writing", path.c_str());
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        // stderr so the stdout table stays byte-identical with/without
+        // JSON output enabled.
+        std::fprintf(stderr, "[bench-json] wrote %s\n", path.c_str());
+        enabled_ = false;
+    }
+
+  private:
+    void
+    closeRows()
+    {
+        if (!rows_closed_) {
+            rows_closed_ = true;
+            w_.endArray();
+        }
+    }
+
+    std::string name_;
+    std::string dir_;
+    JsonWriter w_;
+    bool enabled_ = false;
+    bool rows_closed_ = false;
+};
+
+/**
+ * One row per VM with the Fig. 2 / Fig. 4 rollup (usage by component,
+ * TPS savings by component), in byte units.
+ */
+inline void
+emitVmBreakdownRows(BenchJson &json, core::Scenario &scenario)
+{
+    if (!json.enabled())
+        return;
+    const analysis::OwnerAccounting acct = scenario.account();
+    const std::vector<std::string> names = scenario.vmNames();
+    for (VmId v = 0; v < scenario.vmCount(); ++v) {
+        const analysis::VmBreakdown b = acct.vmBreakdown(v);
+        json.beginRow();
+        json.field("vm", names[v]);
+        json.field("java_bytes", b.java);
+        json.field("other_user_bytes", b.otherUser);
+        json.field("kernel_bytes", b.kernel);
+        json.field("vm_self_bytes", b.vmSelf);
+        json.field("saving_java_bytes", b.savingJava);
+        json.field("saving_other_bytes", b.savingOther);
+        json.field("saving_kernel_bytes", b.savingKernel);
+        json.field("usage_total_bytes", b.usageTotal());
+        json.field("saving_total_bytes", b.savingTotal());
+        json.endRow();
+    }
+}
+
+/**
+ * One row per Java process with the Fig. 3 / Fig. 5 per-category
+ * breakdown: "owned"/"shared" objects keyed by the Table IV category
+ * name, plus the class-metadata sharing fraction.
+ */
+inline void
+emitJavaBreakdownRows(BenchJson &json, core::Scenario &scenario)
+{
+    if (!json.enabled())
+        return;
+    const analysis::OwnerAccounting acct = scenario.account();
+    for (const auto &row : scenario.javaRows()) {
+        const analysis::ProcessUsage &pu = acct.usage(row.vm, row.pid);
+        json.beginRow();
+        json.field("jvm", row.label);
+        json.field("vm", static_cast<unsigned>(row.vm));
+        for (const char *which : {"owned", "shared"}) {
+            const analysis::CategoryBytes &cb =
+                which[0] == 'o' ? pu.owned : pu.shared;
+            json.beginNested(which);
+            for (std::size_t c = 0; c < guest::numMemCategories; ++c) {
+                const auto cat = static_cast<guest::MemCategory>(c);
+                if (!guest::isJavaCategory(cat))
+                    continue;
+                json.field(guest::categoryName(cat), cb[c]);
+            }
+            json.endNested();
+        }
+        json.field("owned_bytes", pu.ownedTotal());
+        json.field("shared_bytes", pu.sharedTotal());
+        json.field("class_metadata_shared_fraction",
+                   classMetadataSharedFraction(acct, row));
+        json.endRow();
+    }
+}
+
+} // namespace jtps::bench
+
+#endif // JTPS_BENCH_BENCH_JSON_HH

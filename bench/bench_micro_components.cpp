@@ -11,6 +11,7 @@
 #include "analysis/accounting.hh"
 #include "analysis/forensics.hh"
 #include "base/stats.hh"
+#include "base/trace.hh"
 #include "guest/guest_os.hh"
 #include "hv/hypervisor.hh"
 #include "jvm/java_heap.hh"
@@ -111,6 +112,68 @@ BM_KsmScanPass(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 2 * n);
 }
 BENCHMARK(BM_KsmScanPass)->Arg(4096)->Arg(32768);
+
+void
+BM_KsmScanPassTraceWired(benchmark::State &state)
+{
+    // BM_KsmScanPass with a TraceBuffer wired into the hypervisor but
+    // left disabled — the cost of the tracing hooks when off. Guarded
+    // to stay within noise (<2%) of BM_KsmScanPass.
+    StatSet stats;
+    hv::KvmHypervisor hv(host(), stats);
+    TraceBuffer trace;
+    hv.setTrace(&trace);
+    VmId a = hv.createVm("a", 256 * MiB, 0);
+    VmId b = hv.createVm("b", 256 * MiB, 0);
+    const Gfn n = state.range(0);
+    for (Gfn g = 0; g < n; ++g) {
+        hv.writePage(a, g, mem::PageData::filled(4, g));
+        hv.writePage(b, g, mem::PageData::filled(4, g));
+    }
+    ksm::KsmConfig cfg;
+    cfg.pagesToScan = 1u << 30; // one batch = one pass
+    ksm::KsmScanner scanner(hv, cfg, stats);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scanner.scanBatch());
+    state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_KsmScanPassTraceWired)->Arg(4096)->Arg(32768);
+
+void
+BM_TraceRecordDisabled(benchmark::State &state)
+{
+    // A disabled TraceBuffer::record() must cost one predictable
+    // branch: this is the per-event price every hook pays when
+    // tracing is off.
+    TraceBuffer trace;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        trace.record(TraceEventType::CowBreak, 0, i, i);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordDisabled);
+
+void
+BM_TraceRecordEnabled(benchmark::State &state)
+{
+    // The enabled path, recording into a pre-reserved buffer.
+    TraceBuffer trace;
+    trace.enable(1u << 20);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        if (trace.events().size() >= (1u << 20) - 1) {
+            state.PauseTiming();
+            trace.clear();
+            state.ResumeTiming();
+        }
+        trace.record(TraceEventType::CowBreak, 0, i, i);
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecordEnabled);
 
 void
 BM_KsmScanDistinctPages(benchmark::State &state)

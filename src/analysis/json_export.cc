@@ -1,0 +1,61 @@
+#include "analysis/json_export.hh"
+
+namespace jtps::analysis
+{
+
+void
+writeStatsJson(JsonWriter &w, const StatSet &stats)
+{
+    w.beginObject();
+    w.key("counters").beginObject();
+    for (const auto &[name, value] : stats.counters())
+        w.field(name, value);
+    w.endObject();
+    w.key("scalars").beginObject();
+    for (const auto &[name, value] : stats.scalars())
+        w.field(name, value);
+    w.endObject();
+    w.endObject();
+}
+
+void
+writeSharingSeriesJson(JsonWriter &w, const SharingMonitor &monitor)
+{
+    w.beginArray();
+    for (const SharingSample &s : monitor.samples()) {
+        w.beginObject();
+        w.field("tick_ms", s.tick);
+        w.field("pages_shared", s.pagesShared);
+        w.field("pages_sharing", s.pagesSharing);
+        w.field("resident_bytes", s.residentBytes);
+        w.field("major_faults", s.majorFaults);
+        w.field("full_scans", s.fullScans);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+void
+writeTraceJson(JsonWriter &w, const TraceBuffer &trace)
+{
+    w.beginObject();
+    w.field("dropped", trace.dropped());
+    w.key("events").beginArray();
+    for (const TraceEvent &e : trace.events()) {
+        w.beginObject();
+        w.field("tick_ms", e.tick);
+        w.field("type", traceEventName(e.type));
+        w.key("vm");
+        if (e.vm == invalidVm)
+            w.valueNull();
+        else
+            w.value(e.vm);
+        w.field("arg0", e.arg0);
+        w.field("arg1", e.arg1);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+} // namespace jtps::analysis

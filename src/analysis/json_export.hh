@@ -1,0 +1,55 @@
+/**
+ * @file
+ * JSON serialization of the simulator's observable state.
+ *
+ * Three fragments compose into one run document (the layout benches
+ * and external tooling key off; docs/METRICS.md is the authoritative
+ * schema):
+ *
+ *   - the StatSet registry (every named counter and scalar),
+ *   - the SharingMonitor time series (the convergence curve),
+ *   - the TraceBuffer event stream.
+ *
+ * All output is deterministic: StatSet iterates ordered maps, samples
+ * and events are serialized in record order, and JsonWriter formats
+ * numbers bytewise-stably — so two runs with the same seed produce
+ * byte-identical documents (a test diffs them).
+ */
+
+#ifndef JTPS_ANALYSIS_JSON_EXPORT_HH
+#define JTPS_ANALYSIS_JSON_EXPORT_HH
+
+#include <string>
+
+#include "analysis/sharing_monitor.hh"
+#include "base/json_writer.hh"
+#include "base/stats.hh"
+#include "base/trace.hh"
+
+namespace jtps::analysis
+{
+
+/** Version stamped into every JSON document this layer emits. */
+constexpr unsigned jsonSchemaVersion = 1;
+
+/**
+ * Emit the stat registry as the value at the writer's current
+ * position: {"counters": {name: int, ...}, "scalars": {name: num}}.
+ */
+void writeStatsJson(JsonWriter &w, const StatSet &stats);
+
+/**
+ * Emit the sharing time series as an array of sample objects
+ * [{"tick_ms": ..., "pages_shared": ..., ...}, ...].
+ */
+void writeSharingSeriesJson(JsonWriter &w, const SharingMonitor &monitor);
+
+/**
+ * Emit the trace stream as {"dropped": n, "events": [{"tick_ms": ...,
+ * "type": name, "vm": id|null, "arg0": ..., "arg1": ...}, ...]}.
+ */
+void writeTraceJson(JsonWriter &w, const TraceBuffer &trace);
+
+} // namespace jtps::analysis
+
+#endif // JTPS_ANALYSIS_JSON_EXPORT_HH

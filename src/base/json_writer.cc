@@ -1,0 +1,226 @@
+#include "base/json_writer.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace jtps
+{
+
+void
+JsonWriter::newlineIndent()
+{
+    out_.push_back('\n');
+    out_.append(2 * stack_.size(), ' ');
+}
+
+void
+JsonWriter::beforeValue()
+{
+    jtps_assert(!done_);
+    if (stack_.empty())
+        return; // document root
+    switch (stack_.back()) {
+      case Scope::ObjectNeedKey:
+        panic("JsonWriter: value emitted where an object key is required");
+      case Scope::ObjectNeedValue:
+        break; // key already printed "name": prefix
+      case Scope::Array:
+        if (has_elems_.back())
+            out_.push_back(',');
+        newlineIndent();
+        break;
+    }
+}
+
+void
+JsonWriter::afterValue()
+{
+    if (stack_.empty()) {
+        done_ = true;
+        return;
+    }
+    if (stack_.back() == Scope::ObjectNeedValue)
+        stack_.back() = Scope::ObjectNeedKey;
+    has_elems_.back() = true;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    jtps_assert(!stack_.empty() &&
+                stack_.back() == Scope::ObjectNeedKey);
+    if (has_elems_.back())
+        out_.push_back(',');
+    newlineIndent();
+    raw(quote(name));
+    raw(": ");
+    stack_.back() = Scope::ObjectNeedValue;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_.push_back('{');
+    stack_.push_back(Scope::ObjectNeedKey);
+    has_elems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    jtps_assert(!stack_.empty() &&
+                stack_.back() == Scope::ObjectNeedKey);
+    const bool had = has_elems_.back();
+    stack_.pop_back();
+    has_elems_.pop_back();
+    if (had)
+        newlineIndent();
+    out_.push_back('}');
+    afterValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_.push_back('[');
+    stack_.push_back(Scope::Array);
+    has_elems_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    jtps_assert(!stack_.empty() && stack_.back() == Scope::Array);
+    const bool had = has_elems_.back();
+    stack_.pop_back();
+    has_elems_.pop_back();
+    if (had)
+        newlineIndent();
+    out_.push_back(']');
+    afterValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    raw(std::to_string(v));
+    afterValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    raw(std::to_string(v));
+    afterValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    raw(formatDouble(v));
+    afterValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    raw(v ? "true" : "false");
+    afterValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    raw(quote(v));
+    afterValue();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::valueNull()
+{
+    beforeValue();
+    raw("null");
+    afterValue();
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    jtps_assert(done_ && stack_.empty());
+    return out_ + "\n";
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    // JSON has no NaN/Inf tokens; the simulator should never produce
+    // them, so map to null-adjacent zero rather than emit invalid JSON.
+    if (!std::isfinite(v))
+        return "0";
+    // %.17g round-trips every double exactly and is byte-stable for a
+    // given value, which is all the determinism tests need.
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+JsonWriter::quote(std::string_view v)
+{
+    std::string out;
+    out.reserve(v.size() + 2);
+    out.push_back('"');
+    for (const char c : v) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+} // namespace jtps

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Streaming JSON writer with deterministic output.
+ *
+ * The simulator's machine-readable output (stats registries, sharing
+ * time series, traces, bench tables) is consumed by diff-based tests
+ * and external tooling, so the writer guarantees byte-stable output:
+ * keys appear in the order the caller emits them (callers iterate
+ * ordered containers), numbers are formatted by fixed printf
+ * conversions, and indentation is fixed two-space pretty printing.
+ *
+ * The writer validates nesting with a small state stack: emitting a
+ * value where a key is required (or vice versa) panics, so malformed
+ * documents are caught at the call site in tests rather than by a
+ * downstream parser.
+ */
+
+#ifndef JTPS_BASE_JSON_WRITER_HH
+#define JTPS_BASE_JSON_WRITER_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jtps
+{
+
+/**
+ * Builds one JSON document into a string.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (must be inside an object, before a value). */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(unsigned v)
+    {
+        return value(static_cast<std::uint64_t>(v));
+    }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &valueNull();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    /** The finished document (all scopes must be closed). */
+    std::string str() const;
+
+    /** Render @p v as the JSON number token the writer would emit. */
+    static std::string formatDouble(double v);
+
+    /** Render @p v as a quoted, escaped JSON string token. */
+    static std::string quote(std::string_view v);
+
+  private:
+    enum class Scope : std::uint8_t
+    {
+        ObjectNeedKey,   //!< inside {}, expecting a key or '}'
+        ObjectNeedValue, //!< inside {}, key emitted, expecting a value
+        Array,           //!< inside [], expecting values
+    };
+
+    void beforeValue();
+    void afterValue();
+    void newlineIndent();
+    void raw(std::string_view s) { out_.append(s); }
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    /** Whether the current scope already holds an element. */
+    std::vector<bool> has_elems_;
+    bool done_ = false;
+};
+
+} // namespace jtps
+
+#endif // JTPS_BASE_JSON_WRITER_HH

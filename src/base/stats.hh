@@ -70,6 +70,12 @@ class StatSet
         return counters_;
     }
 
+    /** All scalars, for iteration (JSON export, tests). */
+    const std::map<std::string, double> &scalars() const
+    {
+        return scalars_;
+    }
+
   private:
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> scalars_;

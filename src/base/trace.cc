@@ -1,0 +1,80 @@
+#include "base/trace.hh"
+
+#include "base/logging.hh"
+
+namespace jtps
+{
+
+const char *
+traceEventName(TraceEventType type)
+{
+    switch (type) {
+      case TraceEventType::KsmStableMerge:
+        return "ksm_stable_merge";
+      case TraceEventType::KsmUnstablePromotion:
+        return "ksm_unstable_promotion";
+      case TraceEventType::KsmFullScan:
+        return "ksm_full_scan";
+      case TraceEventType::CowBreak:
+        return "cow_break";
+      case TraceEventType::SwapOut:
+        return "swap_out";
+      case TraceEventType::SwapIn:
+        return "swap_in";
+      case TraceEventType::BalloonInflate:
+        return "balloon_inflate";
+      case TraceEventType::BalloonDeflate:
+        return "balloon_deflate";
+      case TraceEventType::GcGlobal:
+        return "gc_global";
+      case TraceEventType::GcMinor:
+        return "gc_minor";
+    }
+    panic("unknown trace event type %u", static_cast<unsigned>(type));
+}
+
+void
+TraceBuffer::enable(std::size_t capacity)
+{
+    jtps_assert(capacity > 0);
+    if (capacity > capacity_) {
+        capacity_ = capacity;
+        events_.reserve(capacity_);
+    }
+    enabled_ = true;
+}
+
+void
+TraceBuffer::append(TraceEventType type, VmId vm, std::uint64_t arg0,
+                    std::uint64_t arg1)
+{
+    if (events_.size() >= capacity_) {
+        ++dropped_;
+        return;
+    }
+    TraceEvent e;
+    e.tick = clock_ ? clock_() : 0;
+    e.type = type;
+    e.vm = vm;
+    e.arg0 = arg0;
+    e.arg1 = arg1;
+    events_.push_back(e);
+}
+
+std::uint64_t
+TraceBuffer::countOf(TraceEventType type) const
+{
+    std::uint64_t n = 0;
+    for (const TraceEvent &e : events_)
+        n += e.type == type;
+    return n;
+}
+
+void
+TraceBuffer::clear()
+{
+    events_.clear();
+    dropped_ = 0;
+}
+
+} // namespace jtps

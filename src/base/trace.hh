@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Structured tracing: a typed, allocation-light event recorder.
+ *
+ * Components that already report into a StatSet can additionally emit
+ * *events* — individual state transitions with a timestamp — into a
+ * TraceBuffer: KSM merges, COW breaks, full-scan boundaries, host
+ * swap-in/out, balloon moves, GC cycles. Counters answer "how many";
+ * the trace answers "when, in what order, to whom", which is what the
+ * convergence curves of Figs. 7/8 are made of.
+ *
+ * Cost model: tracing is off by default and the disabled path is a
+ * single relaxed bool load and branch, so instrumented hot paths run
+ * at full speed (guarded by a micro-benchmark and a regression test).
+ * When enabled, events append into a pre-reserved vector; once the
+ * capacity is exhausted further events are counted as dropped rather
+ * than reallocating without bound.
+ *
+ * Each Scenario owns its own TraceBuffer (there are no globals), so
+ * parallel bench sweeps stay race-free and deterministic.
+ */
+
+#ifndef JTPS_BASE_TRACE_HH
+#define JTPS_BASE_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace jtps
+{
+
+/**
+ * The trace event vocabulary. Names and meanings of the per-event
+ * arguments are documented in docs/METRICS.md; traceEventName() gives
+ * the stable string used in JSON output.
+ */
+enum class TraceEventType : std::uint8_t
+{
+    KsmStableMerge,       //!< candidate merged into a stable frame
+    KsmUnstablePromotion, //!< unstable pair promoted + merged
+    KsmFullScan,          //!< scanner finished a full pass
+    CowBreak,             //!< shared frame privatized on write
+    SwapOut,              //!< frame evicted to the host swap device
+    SwapIn,               //!< frame restored on a major fault
+    BalloonInflate,       //!< guest balloon reclaimed pages
+    BalloonDeflate,       //!< balloon released pages back
+    GcGlobal,             //!< global (compacting) collection
+    GcMinor,              //!< nursery (copying) collection
+};
+
+/** Number of distinct event types (for iteration / histograms). */
+constexpr std::size_t traceEventTypeCount = 10;
+
+/** Stable snake_case name of @p type, as emitted in JSON. */
+const char *traceEventName(TraceEventType type);
+
+/** One recorded event: 32 bytes, trivially copyable. */
+struct TraceEvent
+{
+    Tick tick = 0;         //!< simulated time of the event
+    std::uint64_t arg0 = 0; //!< per-type argument (docs/METRICS.md)
+    std::uint64_t arg1 = 0; //!< per-type argument (docs/METRICS.md)
+    TraceEventType type = TraceEventType::KsmStableMerge;
+    VmId vm = invalidVm;   //!< VM the event concerns (invalidVm if none)
+};
+
+static_assert(sizeof(TraceEvent) <= 32, "keep trace records compact");
+
+/**
+ * Bounded append buffer of TraceEvents.
+ */
+class TraceBuffer
+{
+  public:
+    /** Default event capacity when enable() is not given one. */
+    static constexpr std::size_t defaultCapacity = 1u << 20;
+
+    /**
+     * Turn recording on, reserving room for @p capacity events.
+     * Re-enabling keeps already-recorded events (capacity can only
+     * grow).
+     */
+    void enable(std::size_t capacity = defaultCapacity);
+
+    /** Stop recording; recorded events remain readable. */
+    void disable() { enabled_ = false; }
+
+    /** True while recording. */
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Timestamp source, typically the scenario event queue's now().
+     * Events recorded with no clock set are stamped tick 0.
+     */
+    void setClock(std::function<Tick()> clock) { clock_ = std::move(clock); }
+
+    /**
+     * Record one event. The disabled path is branch-only: callers may
+     * keep a TraceBuffer wired permanently and pay nothing until
+     * enable().
+     */
+    void
+    record(TraceEventType type, VmId vm, std::uint64_t arg0 = 0,
+           std::uint64_t arg1 = 0)
+    {
+        if (!enabled_)
+            return;
+        append(type, vm, arg0, arg1);
+    }
+
+    /** All recorded events, in record order (== time order). */
+    const std::vector<TraceEvent> &events() const { return events_; }
+
+    /** Events rejected because the buffer was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Events recorded of @p type. */
+    std::uint64_t countOf(TraceEventType type) const;
+
+    /** Drop all recorded events (keeps enabled state and capacity). */
+    void clear();
+
+  private:
+    void append(TraceEventType type, VmId vm, std::uint64_t arg0,
+                std::uint64_t arg1);
+
+    bool enabled_ = false;
+    std::size_t capacity_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::function<Tick()> clock_;
+    std::vector<TraceEvent> events_;
+};
+
+} // namespace jtps
+
+#endif // JTPS_BASE_TRACE_HH

@@ -23,6 +23,11 @@ Scenario::build()
     built_ = true;
 
     hv_ = std::make_unique<hv::KvmHypervisor>(cfg_.host, stats_);
+    // Wire (but do not enable) tracing: the hypervisor fans the sink
+    // out to the swap device, and the scanner/guests reach it through
+    // hv().trace(). Events are stamped with simulated time.
+    trace_.setClock([this]() { return queue_.now(); });
+    hv_->setTrace(&trace_);
     ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, cfg_.ksm, stats_);
 
     // Synthesize each distinct program's class set once: the classes
@@ -112,6 +117,19 @@ Scenario::build()
         drivers_.push_back(std::make_unique<workload::ClientDriver>(
             *jvms_.back(), specs_[i], disk_));
     }
+}
+
+analysis::SharingMonitor &
+Scenario::attachSharingMonitor(Tick period_ms)
+{
+    jtps_assert(built_);
+    if (!monitor_) {
+        monitor_ =
+            std::make_unique<analysis::SharingMonitor>(*hv_, *ksm_);
+        monitor_->sample(queue_.now()); // t=0 baseline point
+        monitor_->attach(queue_, period_ms);
+    }
+    return *monitor_;
 }
 
 void

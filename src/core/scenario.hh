@@ -33,7 +33,9 @@
 #include "analysis/accounting.hh"
 #include "analysis/forensics.hh"
 #include "analysis/report.hh"
+#include "analysis/sharing_monitor.hh"
 #include "base/stats.hh"
+#include "base/trace.hh"
 #include "guest/guest_os.hh"
 #include "hv/hypervisor.hh"
 #include "jvm/java_vm.hh"
@@ -165,6 +167,29 @@ class Scenario
     sim::EventQueue &queue() { return queue_; }
     workload::HostDisk &disk() { return disk_; }
 
+    /**
+     * The scenario's trace sink. Wired into the hypervisor (and from
+     * there the swap device, scanner and guest models) by build(), but
+     * disabled until trace().enable() is called, so untraced runs stay
+     * at full speed.
+     */
+    TraceBuffer &trace() { return trace_; }
+    const TraceBuffer &trace() const { return trace_; }
+
+    /**
+     * Attach a SharingMonitor sampling every @p period_ms of simulated
+     * time (call after build(), before run()). Idempotent: a second
+     * call returns the existing monitor without rescheduling.
+     */
+    analysis::SharingMonitor &attachSharingMonitor(Tick period_ms = 2000);
+
+    /** The attached monitor, or nullptr if none was requested. */
+    analysis::SharingMonitor *monitor() { return monitor_.get(); }
+    const analysis::SharingMonitor *monitor() const
+    {
+        return monitor_.get();
+    }
+
   private:
     void scheduleEpochs();
 
@@ -172,8 +197,10 @@ class Scenario
     std::vector<workload::WorkloadSpec> specs_;
 
     StatSet stats_;
+    TraceBuffer trace_;
     sim::EventQueue queue_;
     workload::HostDisk disk_;
+    std::unique_ptr<analysis::SharingMonitor> monitor_;
 
     std::unique_ptr<hv::KvmHypervisor> hv_;
     std::unique_ptr<ksm::KsmScanner> ksm_;

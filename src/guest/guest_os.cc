@@ -74,13 +74,20 @@ GuestOs::balloonTake(std::uint64_t pages)
         ++balloon_held_;
         ++taken;
     }
+    if (TraceBuffer *t = hv_.trace())
+        t->record(TraceEventType::BalloonInflate, vm_id_, taken,
+                  balloon_held_);
     return taken;
 }
 
 void
 GuestOs::balloonReturn(std::uint64_t pages)
 {
-    balloon_held_ -= std::min(pages, balloon_held_);
+    const std::uint64_t released = std::min(pages, balloon_held_);
+    balloon_held_ -= released;
+    if (TraceBuffer *t = hv_.trace())
+        t->record(TraceEventType::BalloonDeflate, vm_id_, released,
+                  balloon_held_);
 }
 
 bool

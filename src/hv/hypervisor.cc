@@ -28,6 +28,13 @@ Hypervisor::Hypervisor(const HostConfig &cfg, StatSet &stats)
 {
 }
 
+void
+Hypervisor::setTrace(TraceBuffer *trace)
+{
+    trace_ = trace;
+    swap_.setTrace(trace);
+}
+
 VmId
 Hypervisor::createVm(const std::string &name, Bytes guest_mem,
                      Bytes overhead)
@@ -184,6 +191,8 @@ Hypervisor::cowBreak(VmId vm_id, Gfn gfn)
     e.backing = fresh;
     e.writeProtected = false;
     stats_.inc("hv.cow_breaks");
+    if (trace_)
+        trace_->record(TraceEventType::CowBreak, vm_id, gfn, old);
 }
 
 mem::PageData &

@@ -29,6 +29,7 @@
 
 #include "base/rng.hh"
 #include "base/stats.hh"
+#include "base/trace.hh"
 #include "base/types.hh"
 #include "hv/ept.hh"
 #include "mem/frame_table.hh"
@@ -209,6 +210,17 @@ class Hypervisor
     /** The stat sink. */
     StatSet &stats() { return stats_; }
 
+    /**
+     * Wire a trace sink (owned by the scenario). Propagates to the swap
+     * device; the KSM scanner and guest models reach it through
+     * trace(). Passing nullptr detaches. Recording costs nothing until
+     * the buffer is enable()d.
+     */
+    void setTrace(TraceBuffer *trace);
+
+    /** The wired trace sink, or nullptr. */
+    TraceBuffer *trace() const { return trace_; }
+
   protected:
     /**
      * Allocate a host frame, evicting if the host is out of memory.
@@ -231,6 +243,7 @@ class Hypervisor
 
     HostConfig cfg_;
     StatSet &stats_;
+    TraceBuffer *trace_ = nullptr;
     mem::FrameTable frames_;
     mem::SwapDevice swap_;
     std::vector<std::unique_ptr<Vm>> vms_;

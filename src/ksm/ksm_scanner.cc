@@ -107,6 +107,9 @@ KsmScanner::scanOne(VmId vm, Gfn gfn)
             ++merges_this_pass_;
             ++merges_total_;
             ++stat_stable_merges_;
+            if (TraceBuffer *t = hv_.trace())
+                t->record(TraceEventType::KsmStableMerge, vm, gfn,
+                          stable);
         }
         return true;
     }
@@ -136,6 +139,9 @@ KsmScanner::scanOne(VmId vm, Gfn gfn)
             ++merges_this_pass_;
             ++merges_total_;
             ++stat_unstable_promotions_;
+            if (TraceBuffer *t = hv_.trace())
+                t->record(TraceEventType::KsmUnstablePromotion, vm, gfn,
+                          fresh);
         }
         return true;
     }
@@ -159,6 +165,9 @@ KsmScanner::advanceCursor()
             ++full_scans_;
             stats_.set("ksm.full_scans", full_scans_);
             unstable_tree_.clear();
+            if (TraceBuffer *t = hv_.trace())
+                t->record(TraceEventType::KsmFullScan, invalidVm,
+                          full_scans_, merges_total_);
             return false;
         }
         const hv::Vm &v = hv_.vm(cur_vm_);

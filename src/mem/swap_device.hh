@@ -21,6 +21,7 @@
 #include "base/logging.hh"
 
 #include "base/stats.hh"
+#include "base/trace.hh"
 #include "base/types.hh"
 #include "mem/frame_table.hh"
 #include "mem/page_data.hh"
@@ -55,6 +56,9 @@ class SwapDevice
   public:
     explicit SwapDevice(StatSet *stats = nullptr) : stats_(stats) {}
 
+    /** Wire a trace sink (swap_out / swap_in events); nullptr detaches. */
+    void setTrace(TraceBuffer *trace) { trace_ = trace; }
+
     /** Contents of one slot. */
     struct Slot
     {
@@ -76,6 +80,14 @@ class SwapDevice
             stats_->inc("host.pswpout");
             stats_->set("host.swap_slots", slots_.size());
             stats_->set("host.swap_slots_ram", ram_slots_);
+        }
+        if (trace_) {
+            const Slot &s = slots_.at(id);
+            trace_->record(TraceEventType::SwapOut,
+                           s.mappings.empty() ? invalidVm
+                                              : s.mappings.front().vm,
+                           s.mappings.empty() ? 0 : s.mappings.front().gfn,
+                           tier == SwapTier::CompressedRam);
         }
         return id;
     }
@@ -107,6 +119,13 @@ class SwapDevice
             stats_->inc("host.pswpin");
             stats_->set("host.swap_slots", slots_.size());
             stats_->set("host.swap_slots_ram", ram_slots_);
+        }
+        if (trace_) {
+            trace_->record(TraceEventType::SwapIn,
+                           s.mappings.empty() ? invalidVm
+                                              : s.mappings.front().vm,
+                           s.mappings.empty() ? 0 : s.mappings.front().gfn,
+                           s.tier == SwapTier::CompressedRam);
         }
         return s;
     }
@@ -157,6 +176,7 @@ class SwapDevice
     SwapSlot next_slot_ = 0;
     std::uint64_t ram_slots_ = 0;
     StatSet *stats_;
+    TraceBuffer *trace_ = nullptr;
 };
 
 } // namespace jtps::mem

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (CI "docs" job).
+
+Two checks, stdlib only:
+
+1. Intra-repo markdown links: every relative link target in the
+   repository's *.md files must exist on disk.
+
+2. Stat-registry coverage: every counter documented in docs/METRICS.md
+   must appear in the union of the stat registries of the smoke runs
+   passed via --stats-json (counters marked with a dagger are exempt:
+   they need configurations a CLI smoke cannot reach), and every
+   counter in those registries must be documented.
+
+Usage:
+    tools/check_docs.py [--repo DIR] [--stats-json FILE ...]
+
+Exits nonzero listing every violation.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# [text](target) — excluding images is unnecessary: image targets must
+# resolve too. Targets with a scheme or pure anchors are skipped.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# A METRICS.md stat table row: | `name` | or | `name` † |
+COUNTER_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_.]+)`\s*(†)?\s*\|")
+
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def repo_markdown_files(repo):
+    for root, dirs, files in os.walk(repo):
+        dirs[:] = [d for d in dirs if d not in SKIP_DIRS]
+        for name in files:
+            if name.endswith(".md"):
+                yield os.path.join(root, name)
+
+
+def check_links(repo):
+    errors = []
+    for path in sorted(repo_markdown_files(repo)):
+        text = open(path, encoding="utf-8").read()
+        for target in LINK_RE.findall(text):
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:
+                continue
+            if target.startswith("#"):  # same-file anchor
+                continue
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), file_part))
+            if not os.path.exists(resolved):
+                rel = os.path.relpath(path, repo)
+                errors.append(
+                    f"{rel}: broken link '{target}' "
+                    f"(resolved to {os.path.relpath(resolved, repo)})")
+    return errors
+
+
+def documented_counters(metrics_path):
+    """(all documented counters, the dagger-exempt subset).
+
+    Only rows inside the "## 1. Stat registry" section count — later
+    sections tabulate trace event names in the same backticked style.
+    """
+    documented, exempt = set(), set()
+    in_registry = False
+    for line in open(metrics_path, encoding="utf-8"):
+        if line.startswith("## "):
+            in_registry = line.startswith("## 1.")
+            continue
+        if not in_registry:
+            continue
+        m = COUNTER_ROW_RE.match(line.strip())
+        if not m:
+            continue
+        documented.add(m.group(1))
+        if m.group(2):
+            exempt.add(m.group(1))
+    return documented, exempt
+
+
+def registry_counters(stats_json_paths):
+    counters = set()
+    for path in stats_json_paths:
+        doc = json.load(open(path, encoding="utf-8"))
+        stats = doc.get("stats", doc)  # run document or bare fragment
+        counters.update(stats["counters"].keys())
+    return counters
+
+
+def check_counters(repo, stats_json_paths):
+    metrics_path = os.path.join(repo, "docs", "METRICS.md")
+    if not os.path.exists(metrics_path):
+        return [f"missing {os.path.relpath(metrics_path, repo)}"]
+    documented, exempt = documented_counters(metrics_path)
+    if not documented:
+        return ["docs/METRICS.md: no counter table rows found "
+                "(parser/format drift?)"]
+    if not stats_json_paths:
+        return []
+    registry = registry_counters(stats_json_paths)
+
+    errors = []
+    for name in sorted(documented - exempt - registry):
+        errors.append(
+            f"docs/METRICS.md documents '{name}' but no smoke run "
+            f"registered it (stale doc? missing † exemption?)")
+    for name in sorted(registry - documented):
+        errors.append(
+            f"smoke run registered counter '{name}' but docs/METRICS.md "
+            f"does not document it")
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--stats-json", nargs="*", default=[],
+                        metavar="FILE",
+                        help="run documents whose stat registries are "
+                             "unioned for the coverage check")
+    args = parser.parse_args()
+
+    repo = os.path.abspath(args.repo)
+    errors = check_links(repo) + check_counters(repo, args.stats_json)
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    if errors:
+        print(f"{len(errors)} documentation error(s)", file=sys.stderr)
+        return 1
+    print("docs OK: links resolve, METRICS.md matches the registry")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,22 +4,27 @@
  *
  * Puts the whole library behind one binary: pick a workload, a VM
  * count and the memory techniques to enable, run the measurement
- * protocol, and print any of the paper's report views.
+ * protocol, and print any of the paper's report views — or export the
+ * whole run as machine-readable JSON (schema: docs/METRICS.md).
  *
  *   jtps_sim --workload daytrader --vms 4 --cds --report all
  *   jtps_sim --vms 8 --cds --zram 512 --report throughput
  *   jtps_sim --vms 2 --thp --report sources --csv
+ *   jtps_sim --vms 4 --cds --report timeline --json run.json --trace t.json
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "analysis/json_export.hh"
 #include "analysis/sharing_sources.hh"
 #include "analysis/smaps.hh"
 #include "core/scenario.hh"
 #include "guest/balloon.hh"
+#include "ksm/ksm_tuned.hh"
 
 using namespace jtps;
 
@@ -36,13 +41,20 @@ struct Options
     bool thp = false;
     Bytes zramBytes = 0;
     Bytes balloonBytes = 0;
+    bool ksmtuned = false;
     Bytes hostRam = 6ULL * GiB;
     Tick warmupMs = 45'000;
     Tick steadyMs = 60'000;
     std::uint64_t seed = 42;
     std::string report = "breakdown";
     bool csv = false;
+    std::string jsonFile;
+    std::string traceFile;
 };
+
+const char *const knownReports[] = {"breakdown", "java",       "sources",
+                                    "smaps",     "throughput", "timeline",
+                                    "all"};
 
 [[noreturn]] void
 usage(const char *argv0)
@@ -57,13 +69,17 @@ usage(const char *argv0)
         "  --thp           guest transparent huge pages\n"
         "  --zram MB       compressed host swap pool\n"
         "  --balloon MB    inflate a balloon per guest after boot\n"
+        "  --ksmtuned      govern pages_to_scan adaptively (RHEL\n"
+        "                  ksmtuned) instead of the paper's schedule\n"
         "  --ram GB        host RAM (default 6)\n"
         "  --warmup S      warm-up seconds (default 45)\n"
         "  --steady S      steady seconds (default 60)\n"
         "  --seed N        scenario seed\n"
         "  --report R      breakdown | java | sources | smaps |\n"
-        "                  throughput | all\n"
-        "  --csv           CSV output where available\n",
+        "                  throughput | timeline | all\n"
+        "  --csv           CSV output where available\n"
+        "  --json FILE     write the full run document as JSON\n"
+        "  --trace FILE    record a structured event trace, write JSON\n",
         argv0);
     std::exit(2);
 }
@@ -95,6 +111,8 @@ parse(int argc, char **argv)
             opt.zramBytes = std::strtoull(need(i), nullptr, 10) * MiB;
         else if (arg == "--balloon")
             opt.balloonBytes = std::strtoull(need(i), nullptr, 10) * MiB;
+        else if (arg == "--ksmtuned")
+            opt.ksmtuned = true;
         else if (arg == "--ram")
             opt.hostRam = std::strtoull(need(i), nullptr, 10) * GiB;
         else if (arg == "--warmup")
@@ -107,11 +125,26 @@ parse(int argc, char **argv)
             opt.report = need(i);
         else if (arg == "--csv")
             opt.csv = true;
+        else if (arg == "--json")
+            opt.jsonFile = need(i);
+        else if (arg == "--trace")
+            opt.traceFile = need(i);
         else
             usage(argv[0]);
     }
     if (opt.vms < 1 || opt.vms > 32)
         fatal("--vms must be in [1, 32]");
+
+    // Reject unknown report views up front instead of silently printing
+    // nothing after a long run.
+    bool known = false;
+    for (const char *r : knownReports)
+        known = known || opt.report == r;
+    if (!known) {
+        std::fprintf(stderr, "unknown --report '%s'\n",
+                     opt.report.c_str());
+        usage(argv[0]);
+    }
     return opt;
 }
 
@@ -131,6 +164,99 @@ pickWorkload(const Options &opt)
         fatal("unknown workload '%s'", opt.workload.c_str());
     spec.useAotCache = opt.aotBytes > 0;
     return spec;
+}
+
+void
+writeFileOrDie(const std::string &path, const std::string &content)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        fatal("cannot open '%s' for writing", path.c_str());
+    if (std::fwrite(content.data(), 1, content.size(), f) !=
+        content.size())
+        fatal("short write to '%s'", path.c_str());
+    std::fclose(f);
+}
+
+/** The --json document: run metadata + results + registry + series. */
+std::string
+runDocumentJson(const Options &opt, core::Scenario &scenario)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", analysis::jsonSchemaVersion);
+
+    w.key("run").beginObject();
+    w.field("tool", "jtps_sim");
+    w.field("workload", opt.workload);
+    w.field("vms", opt.vms);
+    w.field("seed", opt.seed);
+    w.field("class_sharing", opt.cds || opt.aotBytes > 0);
+    w.field("copy_cache", opt.copyCache);
+    w.field("aot_bytes", opt.aotBytes);
+    w.field("thp", opt.thp);
+    w.field("zram_bytes", opt.zramBytes);
+    w.field("balloon_bytes", opt.balloonBytes);
+    w.field("ksmtuned", opt.ksmtuned);
+    w.field("host_ram_bytes", opt.hostRam);
+    w.field("warmup_ms", opt.warmupMs);
+    w.field("steady_ms", opt.steadyMs);
+    w.field("sim_end_ms", scenario.queue().now());
+    w.endObject();
+
+    w.key("throughput").beginObject();
+    w.field("aggregate_rq_s", scenario.aggregateThroughput(10));
+    w.key("per_vm_rq_s").beginArray();
+    for (double v : scenario.perVmThroughput(10))
+        w.value(v);
+    w.endArray();
+    w.key("per_vm_response_ms").beginArray();
+    for (double v : scenario.perVmResponseMs(10))
+        w.value(v);
+    w.endArray();
+    w.key("per_vm_major_faults").beginArray();
+    for (int v = 0; v < opt.vms; ++v)
+        w.value(scenario.hv().majorFaults(v));
+    w.endArray();
+    w.endObject();
+
+    w.key("ksm").beginObject();
+    w.field("pages_shared", scenario.ksm().pagesShared());
+    w.field("pages_sharing", scenario.ksm().pagesSharing());
+    w.field("saved_bytes", scenario.ksm().savedBytes());
+    w.field("full_scans", scenario.ksm().fullScans());
+    w.field("cpu_usage", scenario.ksm().cpuUsage());
+    w.endObject();
+
+    w.key("stats");
+    analysis::writeStatsJson(w, scenario.stats());
+
+    w.key("sharing_timeline");
+    if (scenario.monitor() != nullptr)
+        analysis::writeSharingSeriesJson(w, *scenario.monitor());
+    else
+        w.beginArray().endArray();
+
+    if (scenario.trace().enabled()) {
+        w.key("trace");
+        analysis::writeTraceJson(w, scenario.trace());
+    }
+
+    w.endObject();
+    return w.str();
+}
+
+/** The --trace FILE document: schema version + the event stream. */
+std::string
+traceDocumentJson(core::Scenario &scenario)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", analysis::jsonSchemaVersion);
+    w.key("trace");
+    analysis::writeTraceJson(w, scenario.trace());
+    w.endObject();
+    return w.str();
 }
 
 } // namespace
@@ -157,6 +283,24 @@ main(int argc, char **argv)
 
     core::Scenario scenario(cfg, vms);
     scenario.build();
+
+    if (!opt.traceFile.empty())
+        scenario.trace().enable();
+
+    // The timeline view and the JSON document both want the sharing
+    // curve, so sampling starts before the run.
+    const bool wantTimeline =
+        opt.report == "timeline" || opt.report == "all";
+    if (wantTimeline || !opt.jsonFile.empty())
+        scenario.attachSharingMonitor(2'000);
+
+    std::optional<ksm::KsmTuned> tuned;
+    if (opt.ksmtuned) {
+        tuned.emplace(scenario.hv(), scenario.ksm(),
+                      ksm::KsmTunedConfig{}, scenario.stats());
+        tuned->attach(scenario.queue());
+    }
+
     if (opt.balloonBytes > 0) {
         for (int v = 0; v < opt.vms; ++v) {
             guest::BalloonDriver balloon(scenario.guest(v));
@@ -222,5 +366,15 @@ main(int argc, char **argv)
                     formatMiB(scenario.ksm().savedBytes()).c_str(),
                     scenario.ksm().cpuUsage() * 100);
     }
+    if (wantTimeline) {
+        std::printf("KSM sharing timeline (sampled every 2 s):\n%s\n",
+                    opt.csv ? scenario.monitor()->renderCsv().c_str()
+                            : scenario.monitor()->renderTable().c_str());
+    }
+
+    if (!opt.jsonFile.empty())
+        writeFileOrDie(opt.jsonFile, runDocumentJson(opt, scenario));
+    if (!opt.traceFile.empty())
+        writeFileOrDie(opt.traceFile, traceDocumentJson(scenario));
     return 0;
 }
