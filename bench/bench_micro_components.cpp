@@ -8,10 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "analysis/accounting.hh"
 #include "analysis/forensics.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
+#include "bench/bench_common.hh"
+#include "bench/bench_json.hh"
 #include "guest/guest_os.hh"
 #include "hv/hypervisor.hh"
 #include "jvm/java_heap.hh"
@@ -316,6 +323,170 @@ BM_ForensicsWalkAndAccount(benchmark::State &state)
 }
 BENCHMARK(BM_ForensicsWalkAndAccount);
 
+// ---------------------------------------------------------------------
+// Converged-scenario benchmarks (ISSUE 3): steady-state cost of one
+// full KSM scan pass with and without incremental (write-generation)
+// skipping, and of a forensics snapshot at several thread counts. One
+// DayTrader x 4 scenario is built once, run to KSM quiescence, and
+// shared read-only by every benchmark below.
+// ---------------------------------------------------------------------
+
+core::Scenario &
+convergedScenario()
+{
+    static std::unique_ptr<core::Scenario> scenario = []() {
+        setVerbose(false);
+        core::ScenarioConfig cfg = bench::paperConfig(false);
+        // Shorter phases than the figure benches: the benchmarks below
+        // only need a converged steady-state memory image, not the
+        // paper's measurement protocol.
+        cfg.warmupMs = 20'000;
+        cfg.steadyMs = 10'000;
+        std::vector<workload::WorkloadSpec> vms(
+            4, workload::dayTraderIntel());
+        auto s = std::make_unique<core::Scenario>(cfg, vms);
+        s->build();
+        s->run();
+        // Settle: with the drivers stopped the memory image is static,
+        // so running the scenario's scanner to quiescence merges every
+        // remaining duplicate. The timed passes below then do pure
+        // steady-state revisits (no merges mutating the shared image).
+        s->ksm().runToQuiescence();
+        return s;
+    }();
+    return *scenario;
+}
+
+void
+convergedScanPass(benchmark::State &state, bool incremental)
+{
+    core::Scenario &scenario = convergedScenario();
+    StatSet stats;
+    ksm::KsmConfig cfg;
+    cfg.pagesToScan = 1u << 30; // one batch = one pass
+    cfg.incrementalScan = incremental;
+    ksm::KsmScanner scanner(scenario.hv(), cfg, stats);
+    scanner.scanBatch(); // pass 1: record checksums/generations
+    scanner.scanBatch(); // pass 2: calm now; digests + trees built
+    std::uint64_t pages = 0;
+    for (auto _ : state)
+        pages += scanner.scanBatch();
+    state.SetItemsProcessed(static_cast<std::int64_t>(pages));
+}
+
+void
+BM_ConvergedScanPassReference(benchmark::State &state)
+{
+    convergedScanPass(state, /*incremental=*/false);
+}
+BENCHMARK(BM_ConvergedScanPassReference);
+
+void
+BM_ConvergedScanPassIncremental(benchmark::State &state)
+{
+    convergedScanPass(state, /*incremental=*/true);
+}
+BENCHMARK(BM_ConvergedScanPassIncremental);
+
+void
+BM_ConvergedForensicsSnapshot(benchmark::State &state)
+{
+    core::Scenario &scenario = convergedScenario();
+    const unsigned threads = static_cast<unsigned>(state.range(0));
+    std::vector<const guest::GuestOs *> guests;
+    for (std::size_t i = 0; i < scenario.vmCount(); ++i)
+        guests.push_back(&scenario.guest(i));
+    for (auto _ : state) {
+        analysis::Snapshot snap =
+            analysis::captureSnapshot(scenario.hv(), guests, threads);
+        analysis::OwnerAccounting acct(snap, threads);
+        benchmark::DoNotOptimize(acct.attributedBytes());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(scenario.hv().residentFrames()));
+}
+BENCHMARK(BM_ConvergedForensicsSnapshot)->Arg(1)->Arg(2)->Arg(4);
+
+/**
+ * Console reporter that additionally captures per-benchmark adjusted
+ * real time, so main() can emit BENCH_micro_components.json (and the
+ * incremental-scan / parallel-forensics speedups) via JTPS_BENCH_JSON.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row
+    {
+        double realTimeNs = 0.0;
+        std::int64_t iterations = 0;
+    };
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            Row row;
+            row.realTimeNs = run.GetAdjustedRealTime();
+            row.iterations = static_cast<std::int64_t>(run.iterations);
+            rows_[run.benchmark_name()] = row;
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+    double
+    realTimeNs(const std::string &name) const
+    {
+        auto it = rows_.find(name);
+        return it == rows_.end() ? 0.0 : it->second.realTimeNs;
+    }
+
+    const std::map<std::string, Row> &rows() const { return rows_; }
+
+  private:
+    std::map<std::string, Row> rows_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    setVerbose(false);
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    bench::BenchJson json("micro_components", "component micro");
+    for (const auto &[name, row] : reporter.rows()) {
+        json.beginRow();
+        json.field("name", name);
+        json.field("real_time_ns", row.realTimeNs);
+        json.field("iterations", row.iterations);
+        json.endRow();
+    }
+    const double scan_ref =
+        reporter.realTimeNs("BM_ConvergedScanPassReference");
+    const double scan_inc =
+        reporter.realTimeNs("BM_ConvergedScanPassIncremental");
+    if (scan_ref > 0 && scan_inc > 0) {
+        json.summaryField("converged_scan_ns_reference", scan_ref);
+        json.summaryField("converged_scan_ns_incremental", scan_inc);
+        json.summaryField("converged_scan_speedup",
+                          scan_ref / scan_inc);
+    }
+    const double fx1 =
+        reporter.realTimeNs("BM_ConvergedForensicsSnapshot/1");
+    const double fx4 =
+        reporter.realTimeNs("BM_ConvergedForensicsSnapshot/4");
+    if (fx1 > 0 && fx4 > 0) {
+        json.summaryField("forensics_snapshot_ns_1t", fx1);
+        json.summaryField("forensics_snapshot_ns_4t", fx4);
+        json.summaryField("forensics_snapshot_speedup_4t", fx1 / fx4);
+    }
+    json.write();
+    return 0;
+}

@@ -51,6 +51,8 @@ struct ProcessUsage
 
     Bytes ownedTotal() const;
     Bytes sharedTotal() const;
+
+    bool operator==(const ProcessUsage &other) const = default;
 };
 
 /** Fig. 2-style per-VM rollup. */
@@ -79,11 +81,17 @@ struct VmBreakdown
 
 /**
  * Owner-oriented accounting over one snapshot.
+ *
+ * With @p threads > 1 the per-frame collapse (sort + dedup of each
+ * frame's reference list — the hot part) is sharded across a
+ * ThreadPool; the byte totals are then accumulated serially in the
+ * snapshot's frame order, so results are bit-identical at any thread
+ * count.
  */
 class OwnerAccounting
 {
   public:
-    explicit OwnerAccounting(const Snapshot &snap);
+    explicit OwnerAccounting(const Snapshot &snap, unsigned threads = 1);
 
     /** Usage of one process (must exist in the snapshot). */
     const ProcessUsage &usage(VmId vm, Pid pid) const;
@@ -120,11 +128,15 @@ class OwnerAccounting
 
 /**
  * Distribution-oriented accounting (PSS) over one snapshot.
+ *
+ * Same sharding scheme as OwnerAccounting; the floating-point PSS sums
+ * are accumulated serially in snapshot order, so they associate in
+ * exactly the serial order and stay bit-identical at any thread count.
  */
 class PssAccounting
 {
   public:
-    explicit PssAccounting(const Snapshot &snap);
+    explicit PssAccounting(const Snapshot &snap, unsigned threads = 1);
 
     /** PSS of one process in bytes (fractional pages included). */
     double pss(VmId vm, Pid pid) const;

@@ -177,20 +177,21 @@ Scenario::runFor(Tick ms)
 }
 
 analysis::Snapshot
-Scenario::snapshot() const
+Scenario::snapshot()
 {
     std::vector<const guest::GuestOs *> ptrs;
     ptrs.reserve(guests_.size());
     for (const auto &g : guests_)
         ptrs.push_back(g.get());
-    return analysis::captureSnapshot(*hv_, ptrs);
+    return analysis::captureSnapshot(*hv_, ptrs, cfg_.analysisThreads,
+                                     &stats_);
 }
 
 analysis::OwnerAccounting
-Scenario::account() const
+Scenario::account()
 {
     analysis::Snapshot snap = snapshot();
-    return analysis::OwnerAccounting(snap);
+    return analysis::OwnerAccounting(snap, cfg_.analysisThreads);
 }
 
 std::vector<std::string>

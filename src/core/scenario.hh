@@ -95,6 +95,14 @@ struct ScenarioConfig
      * the interaction with the paper's technique).
      */
     bool guestThp = false;
+
+    /**
+     * Worker threads for the forensics walk and accounting collapse in
+     * snapshot()/account(). Results are byte-identical at any value
+     * (the reduce replays the serial order); 1 keeps analysis fully
+     * serial.
+     */
+    unsigned analysisThreads = 1;
 };
 
 /**
@@ -128,11 +136,12 @@ class Scenario
     // Measurement
     // ------------------------------------------------------------------
 
-    /** Capture the three-layer translation walk. */
-    analysis::Snapshot snapshot() const;
+    /** Capture the three-layer translation walk (analysisThreads-wide,
+     *  counted in `forensics.walk_shards`). */
+    analysis::Snapshot snapshot();
 
     /** Owner-oriented accounting of a fresh snapshot. */
-    analysis::OwnerAccounting account() const;
+    analysis::OwnerAccounting account();
 
     /** Names of all VMs in id order. */
     std::vector<std::string> vmNames() const;

@@ -33,14 +33,17 @@ enum class PageState : std::uint8_t
 /**
  * One EPT entry. `backing` holds the hfn when Resident and the swap slot
  * when Swapped.
+ *
+ * The entry carries translation state only. KSM's per-page calm
+ * checksum used to live here; it is scanner-owned state and now lives
+ * in ksm::KsmScanner, which learns about entry resets through
+ * hv::PageEventListener.
  */
 struct EptEntry
 {
     std::uint64_t backing = 0;
-    std::uint32_t ksmChecksum = 0; //!< KSM's last-seen page checksum
     PageState state = PageState::NotPresent;
-    bool writeProtected = false;   //!< COW-break on next write
-    bool ksmChecksumValid = false; //!< checksum field has been set
+    bool writeProtected = false; //!< COW-break on next write
 };
 
 /**

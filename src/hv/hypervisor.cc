@@ -225,6 +225,13 @@ Hypervisor::pageForWrite(VmId vm_id, Gfn gfn)
     }
 
     frames_.touch(e.backing);
+    // The caller writes through the returned reference: advance the
+    // frame's generation so every cached derivation of the old content
+    // (KSM checksums/digests) stops matching. Fresh allocations above
+    // already carry a new generation; bumping again is merely
+    // conservative (a generation may only ever certify *unchanged*
+    // content).
+    frames_.bumpWriteGen(e.backing);
     return frames_.frame(e.backing).data;
 }
 
@@ -303,6 +310,26 @@ Hypervisor::discardPage(VmId vm_id, Gfn gfn)
         break;
     }
     e = EptEntry{};
+    // The entry reset above is what used to wipe KSM's in-EPT checksum;
+    // tell subscribers so externally-held per-page state dies with it.
+    for (PageEventListener *l : page_listeners_)
+        l->pageDiscarded(vm_id, gfn);
+}
+
+void
+Hypervisor::addPageListener(PageEventListener *l)
+{
+    jtps_assert(l != nullptr);
+    page_listeners_.push_back(l);
+}
+
+void
+Hypervisor::removePageListener(PageEventListener *l)
+{
+    auto it =
+        std::find(page_listeners_.begin(), page_listeners_.end(), l);
+    if (it != page_listeners_.end())
+        page_listeners_.erase(it);
 }
 
 Hfn

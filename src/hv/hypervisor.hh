@@ -58,6 +58,22 @@ struct HostConfig
     Bytes compressedSwapPoolBytes = 0;
 };
 
+/**
+ * Observer of per-page lifecycle events that invalidate state someone
+ * else keeps about a guest page. The only subscriber today is the KSM
+ * scanner, whose per-page calm-checksum cache must be dropped exactly
+ * when the EPT entry it shadowed is reset (guest discard) — the same
+ * moment the old in-EPT checksum used to be wiped.
+ */
+class PageEventListener
+{
+  public:
+    virtual ~PageEventListener() = default;
+
+    /** (vm, gfn) was discarded; its EPT entry returned to NotPresent. */
+    virtual void pageDiscarded(VmId vm, Gfn gfn) = 0;
+};
+
 /** One guest VM. */
 struct Vm
 {
@@ -221,6 +237,12 @@ class Hypervisor
     /** The wired trace sink, or nullptr. */
     TraceBuffer *trace() const { return trace_; }
 
+    /** Subscribe @p l to page lifecycle events. */
+    void addPageListener(PageEventListener *l);
+
+    /** Unsubscribe @p l (no-op if it was never added). */
+    void removePageListener(PageEventListener *l);
+
   protected:
     /**
      * Allocate a host frame, evicting if the host is out of memory.
@@ -247,6 +269,7 @@ class Hypervisor
     mem::FrameTable frames_;
     mem::SwapDevice swap_;
     std::vector<std::unique_ptr<Vm>> vms_;
+    std::vector<PageEventListener *> page_listeners_;
     /** Compressed-tier slot capacity (pool pages x compression). */
     std::uint64_t ram_slot_capacity_ = 0;
 };

@@ -1,22 +1,58 @@
 #include "ksm/ksm_scanner.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 #include "base/units.hh"
 
 namespace jtps::ksm
 {
 
+namespace
+{
+
+/** Slot index hash for the flat unstable table (fixed constants keep
+ *  the probe order deterministic across runs). */
+inline std::size_t
+unstableSlotHash(std::uint64_t digest)
+{
+    std::uint64_t h = digest;
+    h ^= h >> 33;
+    h *= 0x9E3779B97F4A7C15ull;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h);
+}
+
+/** Tombstone marker: non-zero (keeps probe chains intact) and never a
+ *  real pass epoch (epochs count up from 1, one per full scan). */
+constexpr std::uint64_t tombstoneEpoch = ~std::uint64_t{0};
+
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+constexpr std::size_t initialUnstableCapacity = 1024;
+
+} // namespace
+
 KsmScanner::KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg,
                        StatSet &stats)
     : hv_(hv), cfg_(cfg), stats_(stats),
+      unstable_(initialUnstableCapacity),
       stat_stale_stable_(stats.counter("ksm.stale_stable_nodes")),
       stat_stale_unstable_(stats.counter("ksm.stale_unstable_nodes")),
       stat_skipped_huge_(stats.counter("ksm.skipped_huge")),
       stat_not_calm_(stats.counter("ksm.not_calm")),
       stat_stable_merges_(stats.counter("ksm.stable_merges")),
       stat_unstable_promotions_(stats.counter("ksm.unstable_promotions")),
-      stat_pages_visited_(stats.counter("ksm.pages_visited"))
+      stat_pages_visited_(stats.counter("ksm.pages_visited")),
+      stat_gen_skipped_(stats.counter("ksm.pages_gen_skipped")),
+      stat_digest_cache_hits_(stats.counter("ksm.digest_cache_hits"))
 {
+    hv_.addPageListener(this);
+}
+
+KsmScanner::~KsmScanner()
+{
+    hv_.removePageListener(this);
 }
 
 void
@@ -31,6 +67,110 @@ KsmScanner::setSleepMillisecs(Tick ms)
 {
     jtps_assert(ms > 0);
     cfg_.sleepMillisecs = ms;
+}
+
+void
+KsmScanner::pageDiscarded(VmId vm, Gfn gfn)
+{
+    // Mirror of the old `EptEntry{}` reset wiping the in-EPT checksum:
+    // the next visit of a reincarnated page must run the full calm
+    // protocol from scratch. Untracked pages have no state to drop.
+    if (vm >= page_state_.size())
+        return;
+    auto &v = page_state_[vm];
+    if (gfn >= v.size())
+        return;
+    v[gfn] = PageScanState{};
+}
+
+KsmScanner::PageScanState &
+KsmScanner::pageState(VmId vm, Gfn gfn)
+{
+    if (vm >= page_state_.size())
+        page_state_.resize(
+            std::max<std::size_t>(hv_.vmCount(), vm + std::size_t{1}));
+    auto &v = page_state_[vm];
+    if (v.empty())
+        v.resize(hv_.vm(vm).ept.size());
+    jtps_assert(gfn < v.size());
+    return v[gfn];
+}
+
+KsmScanner::PageScanState *
+KsmScanner::pageStateRow(VmId vm, const hv::Vm &v)
+{
+    if (vm >= page_state_.size())
+        page_state_.resize(
+            std::max<std::size_t>(hv_.vmCount(), vm + std::size_t{1}));
+    auto &row = page_state_[vm];
+    if (row.size() < v.ept.size())
+        row.resize(v.ept.size());
+    return row.data();
+}
+
+KsmScanner::FrameMemo &
+KsmScanner::frameMemo(Hfn hfn)
+{
+    if (hfn >= frame_memo_.size()) {
+        frame_memo_.resize(std::max<std::size_t>(
+            hfn + std::size_t{1}, frame_memo_.size() * 2));
+    }
+    return frame_memo_[hfn];
+}
+
+std::uint64_t
+KsmScanner::memoDigest(Hfn hfn, std::uint64_t gen,
+                       const mem::PageData &data)
+{
+    FrameMemo &m = frameMemo(hfn);
+    if (m.gen != gen) {
+        m = FrameMemo{};
+        m.gen = gen;
+    }
+    if (m.hasDigest) {
+        ++stat_digest_cache_hits_;
+        return m.digest;
+    }
+    m.digest = data.digest();
+    m.hasDigest = true;
+    return m.digest;
+}
+
+std::uint32_t
+KsmScanner::memoChecksum(Hfn hfn, std::uint64_t gen,
+                         const mem::PageData &data)
+{
+    FrameMemo &m = frameMemo(hfn);
+    if (m.gen != gen) {
+        m = FrameMemo{};
+        m.gen = gen;
+    }
+    if (!m.hasChecksum) {
+        m.checksum = data.checksum();
+        m.hasChecksum = true;
+    }
+    return m.checksum;
+}
+
+void
+KsmScanner::unstableRehash(std::size_t new_capacity)
+{
+    jtps_assert((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<UnstableSlot> old = std::move(unstable_);
+    unstable_.assign(new_capacity, UnstableSlot{});
+    unstable_occupied_ = 0;
+    unstable_live_ = 0;
+    const std::size_t mask = new_capacity - 1;
+    for (const UnstableSlot &s : old) {
+        if (s.epoch != pass_epoch_)
+            continue; // drop tombstones and earlier passes' entries
+        std::size_t i = unstableSlotHash(s.digest) & mask;
+        while (unstable_[i].epoch != 0)
+            i = (i + 1) & mask;
+        unstable_[i] = s;
+        ++unstable_occupied_;
+        ++unstable_live_;
+    }
 }
 
 Hfn
@@ -71,70 +211,169 @@ KsmScanner::stableLookup(const mem::PageData &data, std::uint64_t digest)
 }
 
 bool
-KsmScanner::scanOne(VmId vm, Gfn gfn)
+KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
+                    mem::FrameTable &ft, PageScanState *psv)
 {
-    const mem::PageData *data = hv_.peek(vm, gfn);
-    if (data == nullptr)
+    const hv::EptEntry &e = v.ept.entry(gfn);
+    if (e.state != hv::PageState::Resident)
         return false; // not resident: nothing to merge
 
-    if (hv_.isHugePage(vm, gfn)) {
+    if (!v.hugePages.empty() && v.hugePages[gfn]) {
         // THP-backed memory is not madvise-MERGEABLE: skip.
         ++stat_skipped_huge_;
         return true;
     }
 
-    Hfn hfn = hv_.translate(vm, gfn);
-    if (hv_.frames().frame(hfn).ksmStable)
-        return true; // already a shared KSM page
+    const Hfn hfn = e.backing;
+    const std::uint64_t gen = ft.writeGen(hfn);
+    PageScanState &ps = psv[gfn];
+    // The page content, loaded only on the paths that need it: the
+    // generation fast path below settles most visits from the dense
+    // generation array and this VM's page-state row alone.
+    const mem::PageData *data = nullptr;
+    std::uint64_t digest;
+    bool skip_stable_probe = false;
 
-    // Calm check: skip pages whose content changed since the last visit.
-    hv::EptEntry &e = hv_.vm(vm).ept.entry(gfn);
-    const std::uint32_t sum = data->checksum();
-    if (!e.ksmChecksumValid || e.ksmChecksum != sum) {
-        e.ksmChecksum = sum;
-        e.ksmChecksumValid = true;
-        ++stat_not_calm_;
-        return true;
+    if (cfg_.incrementalScan && ps.lastGen == gen) {
+        // The frame's write generation has not moved since the last
+        // completed visit. Generations are globally unique and bumped
+        // on every content change, reallocation, and stable-flag
+        // transition, so equality proves this is the same frame, with
+        // the same stable flag and byte-identical content: the
+        // checksum compare would come out calm. Stable pages are done
+        // (a from-scratch visit early-returns on them); for the rest,
+        // serve the digest from the per-page cache (or the frame memo
+        // on the first revisit). A stable-tree probe that missed at
+        // ps.lastStableEpoch must still miss while the epoch is
+        // unchanged (stable frames only gain sharers without an epoch
+        // bump, and every staleness or capacity transition bumps it),
+        // so it is skipped as well.
+        ++stat_gen_skipped_;
+        if (ps.lastStable)
+            return true; // provably still a shared KSM page
+        if (ps.digestValid) {
+            ++stat_digest_cache_hits_;
+            digest = ps.lastDigest;
+        } else {
+            data = &ft.frame(hfn).data;
+            digest = memoDigest(hfn, gen, *data);
+            ps.lastDigest = digest;
+            ps.digestValid = true;
+        }
+        skip_stable_probe = ps.lastStableEpoch != 0 &&
+                            ps.lastStableEpoch == ft.ksmStableEpoch();
+    } else {
+        const mem::Frame &frame = ft.frame(hfn);
+        if (frame.ksmStable) {
+            // Remember the outcome (incremental mode only — the
+            // calm-protocol fields stay untouched either way, exactly
+            // like a from-scratch visit): while the generation holds,
+            // revisits return here without loading the Frame.
+            if (cfg_.incrementalScan) {
+                ps.lastGen = gen;
+                ps.lastStable = true;
+                ps.digestValid = false;
+                ps.lastStableEpoch = 0;
+            }
+            return true; // already a shared KSM page
+        }
+        data = &frame.data;
+
+        // Calm check: skip pages whose content changed since the last
+        // visit. Identical compare to the one the in-EPT checksum used
+        // to implement; the state now lives here in the scanner.
+        const std::uint32_t sum = cfg_.incrementalScan
+                                      ? memoChecksum(hfn, gen, *data)
+                                      : data->checksum();
+        const bool calm = ps.checksumValid && ps.lastChecksum == sum;
+        ps.lastChecksum = sum;
+        ps.checksumValid = true;
+        ps.lastGen = gen;
+        ps.lastStable = false;
+        ps.lastStableEpoch = 0;
+        ps.digestValid = false;
+        if (!calm) {
+            ++stat_not_calm_;
+            return true;
+        }
+        digest = cfg_.incrementalScan ? memoDigest(hfn, gen, *data)
+                                      : data->digest();
+        if (cfg_.incrementalScan) {
+            ps.lastDigest = digest;
+            ps.digestValid = true;
+        }
     }
 
-    // One digest per visit keys both indexes.
-    const std::uint64_t digest = data->digest();
-
     // Stable tree first.
-    Hfn stable = stableLookup(*data, digest);
-    if (stable != invalidFrame) {
-        if (hv_.ksmMergeInto(stable, vm, gfn)) {
-            ++merges_this_pass_;
-            ++merges_total_;
-            ++stat_stable_merges_;
-            if (TraceBuffer *t = hv_.trace())
-                t->record(TraceEventType::KsmStableMerge, vm, gfn,
-                          stable);
+    if (!skip_stable_probe) {
+        if (!data)
+            data = &ft.frame(hfn).data;
+        const Hfn stable = stableLookup(*data, digest);
+        if (stable != invalidFrame) {
+            if (hv_.ksmMergeInto(stable, vm, gfn)) {
+                ++merges_this_pass_;
+                ++merges_total_;
+                ++stat_stable_merges_;
+                if (TraceBuffer *t = hv_.trace())
+                    t->record(TraceEventType::KsmStableMerge, vm, gfn,
+                              stable);
+            }
+            return true;
         }
-        return true;
+        // Record the miss: while the stable epoch stays put, revisits
+        // of this unchanged page may skip the probe (and the pruning
+        // it would do — a missing probe already pruned its bucket
+        // clean).
+        ps.lastStableEpoch = ft.ksmStableEpoch();
     }
 
     // Unstable tree: find another calm page with the same content seen
-    // earlier in this pass.
-    auto it = unstable_tree_.find(digest);
-    if (it != unstable_tree_.end()) {
-        auto [ovm, ogfn] = it->second;
-        if (ovm == vm && ogfn == gfn) {
+    // earlier in this pass. One walk serves both the lookup and, on a
+    // miss, the insert position (the first reusable stale/tombstone
+    // slot in the chain, or its empty terminator).
+    const std::size_t mask = unstable_.size() - 1;
+    std::size_t slot = npos;
+    std::size_t insert_at = npos;
+    for (std::size_t i = unstableSlotHash(digest) & mask;;
+         i = (i + 1) & mask) {
+        const UnstableSlot &s = unstable_[i];
+        if (s.epoch == 0) {
+            if (insert_at == npos)
+                insert_at = i;
+            break; // end of chain: not in this pass's tree
+        }
+        if (s.epoch == pass_epoch_) {
+            if (s.digest == digest) {
+                slot = i;
+                break;
+            }
+        } else if (insert_at == npos) {
+            insert_at = i; // stale/tombstone slot: reusable
+        }
+    }
+
+    if (slot != npos) {
+        UnstableSlot &u = unstable_[slot];
+        if (u.vm == vm && u.gfn == gfn) {
             return true; // same page revisited
         }
-        const mem::PageData *other = hv_.peek(ovm, ogfn);
+        if (!data)
+            data = &ft.frame(hfn).data;
+        const mem::PageData *other = hv_.peek(u.vm, u.gfn);
         if (other == nullptr || !(*other == *data)) {
             // The tree node went stale (page rewritten or swapped out)
             // — or, vanishingly rarely, its digest collides with ours;
             // either way, replace it with the current candidate.
-            it->second = {vm, gfn};
+            u.vm = vm;
+            u.gfn = gfn;
             ++stat_stale_unstable_;
             return true;
         }
-        Hfn fresh = hv_.ksmMakeStable(ovm, ogfn);
+        Hfn fresh = hv_.ksmMakeStable(u.vm, u.gfn);
         jtps_assert(fresh != invalidFrame);
         stable_tree_[digest].push_back(fresh);
-        unstable_tree_.erase(it);
+        u.epoch = tombstoneEpoch; // erase, keeping probe chains intact
+        --unstable_live_;
         if (hv_.ksmMergeInto(fresh, vm, gfn)) {
             ++merges_this_pass_;
             ++merges_total_;
@@ -146,7 +385,28 @@ KsmScanner::scanOne(VmId vm, Gfn gfn)
         return true;
     }
 
-    unstable_tree_.emplace(digest, std::make_pair(vm, gfn));
+    // Miss: insert. Keep at least ~30% never-used slots so probe
+    // chains terminate quickly; the check runs only when this insert
+    // would consume an empty slot, so a steady-state pass over
+    // unchanged memory re-inserts into the previous pass's (now stale)
+    // slots without ever allocating or rehashing.
+    if (unstable_[insert_at].epoch == 0) {
+        if ((unstable_occupied_ + 1) * 10 >= unstable_.size() * 7) {
+            std::size_t cap = unstable_.size();
+            while (cap < 4 * (unstable_live_ + 1))
+                cap *= 2;
+            unstableRehash(cap);
+            // Re-derive the insert position in the rehashed table
+            // (all remaining slots are live entries of this pass).
+            const std::size_t m2 = unstable_.size() - 1;
+            insert_at = unstableSlotHash(digest) & m2;
+            while (unstable_[insert_at].epoch != 0)
+                insert_at = (insert_at + 1) & m2;
+        }
+        ++unstable_occupied_;
+    }
+    unstable_[insert_at] = UnstableSlot{digest, pass_epoch_, vm, gfn};
+    ++unstable_live_;
     return true;
 }
 
@@ -164,7 +424,11 @@ KsmScanner::advanceCursor()
             cur_gfn_ = 0;
             ++full_scans_;
             stats_.set("ksm.full_scans", full_scans_);
-            unstable_tree_.clear();
+            // Clearing the unstable tree is one epoch bump: last
+            // pass's entries go stale in place and their slots are
+            // reused by the next pass's inserts.
+            ++pass_epoch_;
+            unstable_live_ = 0;
             if (TraceBuffer *t = hv_.trace())
                 t->record(TraceEventType::KsmFullScan, invalidVm,
                           full_scans_, merges_total_);
@@ -186,6 +450,7 @@ KsmScanner::scanBatch()
     if (hv_.vmCount() == 0)
         return 0;
 
+    mem::FrameTable &ft = hv_.frames();
     std::uint64_t visited = 0;
     while (visited < cfg_.pagesToScan) {
         if (!advanceCursor()) {
@@ -194,12 +459,49 @@ KsmScanner::scanBatch()
             // cost bounded and matches the batch accounting.
             break;
         }
-        // Like ksmd, only *present* pages consume the scan budget:
-        // the rmap walk skips holes in the address space nearly for
-        // free. The pass boundary still bounds each batch.
-        if (scanOne(cur_vm_, cur_gfn_))
-            ++visited;
-        ++cur_gfn_;
+        // The VM, its page-state row and the gfn bound are hoisted out
+        // of the per-page loop; advanceCursor() leaves the cursor on a
+        // mergeable VM with cur_gfn_ in range. Like ksmd, only
+        // *present* pages consume the scan budget: the rmap walk skips
+        // holes in the address space nearly for free. The pass
+        // boundary still bounds each batch.
+        const hv::Vm &v = hv_.vm(cur_vm_);
+        PageScanState *psv = pageStateRow(cur_vm_, v);
+        const Gfn gfn_end = v.ept.size();
+        while (cur_gfn_ < gfn_end && visited < cfg_.pagesToScan) {
+            // The two random-access lines of a steady-state visit —
+            // the frame's write generation (indexed by hfn) and the
+            // unstable-table slot (indexed by digest hash) — are
+            // prefetched a few pages ahead from the sequentially
+            // walked EPT and page-state rows, hiding their miss
+            // latency behind the visits in between. Pure hints: the
+            // scan itself never depends on them.
+            constexpr Gfn prefetchDist = 16;
+            if (cur_gfn_ + prefetchDist < gfn_end) {
+                const hv::EptEntry &pe = v.ept.entry(cur_gfn_ +
+                                                     prefetchDist);
+                if (pe.state == hv::PageState::Resident)
+                    ft.prefetchWriteGen(pe.backing);
+                const PageScanState &pps = psv[cur_gfn_ + prefetchDist];
+                if (pps.digestValid) {
+                    // Two lines: collision chains average a couple of
+                    // slots, and a 32-byte slot at an odd index walks
+                    // into the next line immediately. rw=1 because the
+                    // common case re-inserts into the probed chain.
+                    const std::size_t h =
+                        unstableSlotHash(pps.lastDigest) &
+                        (unstable_.size() - 1);
+                    __builtin_prefetch(unstable_.data() + h, 1);
+                    __builtin_prefetch(
+                        unstable_.data() +
+                            ((h + 2) & (unstable_.size() - 1)),
+                        1);
+                }
+            }
+            if (scanOne(cur_vm_, cur_gfn_, v, ft, psv))
+                ++visited;
+            ++cur_gfn_;
+        }
     }
     stat_pages_visited_ += visited;
     return visited;

@@ -29,6 +29,21 @@
  * 64-byte lexicographic compares. The full 8-word compare still runs
  * on every bucket hit, so a digest collision can only cost a missed
  * merge, never a wrong one.
+ *
+ * Incremental scanning (docs/PERF.md): every host frame carries a
+ * write generation (mem::FrameTable::writeGen()) that changes on every
+ * possible content change and on every stable-flag transition. The
+ * scanner records, per guest page, the generation it saw at the last
+ * completed visit; when the generation is unchanged the page is
+ * *provably* resident, non-stable and calm — the Frame is not even
+ * loaded, the checksum compare is skipped, the content digest is
+ * served from the per-page cache (falling back to a per-frame memo),
+ * and the stable-tree probe is skipped while the table-wide stable
+ * epoch proves a past miss still holds. Skipping is gated only on
+ * generation/epoch equality, never on content heuristics, so merge
+ * behaviour and every counter are identical to a from-scratch scan
+ * (KsmConfig::incrementalScan = false gives that reference mode; the
+ * property tests drive both side by side).
  */
 
 #ifndef JTPS_KSM_KSM_SCANNER_HH
@@ -64,12 +79,20 @@ struct KsmConfig
      * reverse-mapping work per page. Mostly visible on the zero page.
      */
     std::uint32_t maxPageSharing = 256;
+    /**
+     * Use write-generation dirty tracking to skip content work on
+     * unchanged pages. false = reference mode: recompute everything
+     * every visit, exactly equivalent in merges and counters (only
+     * `ksm.pages_gen_skipped` / `ksm.digest_cache_hits` stay zero);
+     * used by the equivalence tests and the before/after micro bench.
+     */
+    bool incrementalScan = true;
 };
 
 /**
  * The KSM scanning daemon (ksmd).
  */
-class KsmScanner
+class KsmScanner : public hv::PageEventListener
 {
   public:
     /**
@@ -78,6 +101,11 @@ class KsmScanner
      * @param stats Stat sink ("ksm." prefixed).
      */
     KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg, StatSet &stats);
+
+    ~KsmScanner() override;
+
+    KsmScanner(const KsmScanner &) = delete;
+    KsmScanner &operator=(const KsmScanner &) = delete;
 
     /** Retune pages_to_scan (the paper lowers it after warm-up). */
     void setPagesToScan(std::uint32_t pages);
@@ -131,9 +159,77 @@ class KsmScanner
      */
     double cpuUsage() const;
 
+    /** PageEventListener: drop per-page calm state on guest discard. */
+    void pageDiscarded(VmId vm, Gfn gfn) override;
+
   private:
-    /** Visit one candidate page. @return true if it was resident. */
-    bool scanOne(VmId vm, Gfn gfn);
+    /**
+     * Scanner-owned per-guest-page state. lastChecksum/checksumValid
+     * replace the fields that used to live in hv::EptEntry with
+     * identical lifetime: they survive COW breaks, swap-outs and
+     * swap-ins, and die only on discard (pageDiscarded()).
+     */
+    struct PageScanState
+    {
+        /** Frame write generation at the last completed visit. */
+        std::uint64_t lastGen = 0;
+        /**
+         * Stable epoch at the last full stable-tree probe that missed
+         * for this page's content; 0 = the next visit must probe.
+         */
+        std::uint64_t lastStableEpoch = 0;
+        /** Content digest at generation lastGen (digestValid). Kept
+         *  here — sequentially walked state — so the steady-state scan
+         *  path does not touch the frame memo at all. */
+        std::uint64_t lastDigest = 0;
+        std::uint32_t lastChecksum = 0;
+        bool checksumValid = false;
+        bool digestValid = false;
+        /**
+         * The backing frame was KSM-stable when lastGen was recorded.
+         * Because setKsmStable() advances the write generation, an
+         * equal generation proves the flag has not changed since — so
+         * a converged pass settles stable pages without loading the
+         * Frame at all. Never set alongside digestValid.
+         */
+        bool lastStable = false;
+    };
+
+    /** Per-frame memo of content derivations, valid while the frame's
+     *  write generation still equals `gen`. */
+    struct FrameMemo
+    {
+        std::uint64_t gen = 0; //!< 0 = empty (generations start at 1)
+        std::uint64_t digest = 0;
+        std::uint32_t checksum = 0;
+        bool hasDigest = false;
+        bool hasChecksum = false;
+    };
+
+    /**
+     * One slot of the flat open-addressed unstable table. A slot is
+     * *live* when `epoch == pass_epoch_`; clearing the tree at a pass
+     * boundary is one epoch bump instead of a deallocation, so a
+     * steady-state pass runs allocation-free. `epoch == 0` means the
+     * slot was never used (probe chains stop there); any other stale
+     * epoch acts as a tombstone that keeps chains intact.
+     */
+    struct UnstableSlot
+    {
+        std::uint64_t digest = 0;
+        std::uint64_t epoch = 0;
+        VmId vm = invalidVm;
+        Gfn gfn = invalidFrame;
+    };
+
+    /**
+     * Visit one candidate page. @p v, @p ft and @p psv are hoisted by
+     * scanBatch() (the VM, frame table, and this VM's page-state row)
+     * so the per-page path re-derives nothing.
+     * @return true if the page was resident.
+     */
+    bool scanOne(VmId vm, Gfn gfn, const hv::Vm &v, mem::FrameTable &ft,
+                 PageScanState *psv);
 
     /** Advance the cursor; returns false at the end of a full pass. */
     bool advanceCursor();
@@ -143,6 +239,26 @@ class KsmScanner
      * pruning stale nodes and emptied digest buckets.
      */
     Hfn stableLookup(const mem::PageData &data, std::uint64_t digest);
+
+    /** Lazily-sized per-page state for (vm, gfn). */
+    PageScanState &pageState(VmId vm, Gfn gfn);
+
+    /** The whole page-state row of @p vm, sized to its EPT. */
+    PageScanState *pageStateRow(VmId vm, const hv::Vm &v);
+
+    /** Lazily-sized per-frame memo slot. */
+    FrameMemo &frameMemo(Hfn hfn);
+
+    /** Digest of @p data via the frame memo (counts cache hits). */
+    std::uint64_t memoDigest(Hfn hfn, std::uint64_t gen,
+                             const mem::PageData &data);
+
+    /** Checksum of @p data via the frame memo. */
+    std::uint32_t memoChecksum(Hfn hfn, std::uint64_t gen,
+                               const mem::PageData &data);
+
+    /** Grow/compact the flat unstable table (drops stale slots). */
+    void unstableRehash(std::size_t new_capacity);
 
     hv::Hypervisor &hv_;
     KsmConfig cfg_;
@@ -161,10 +277,16 @@ class KsmScanner
      *  content, in creation order (duplicates past max_page_sharing
      *  form chains, hence the vector). */
     std::unordered_map<std::uint64_t, std::vector<Hfn>> stable_tree_;
-    /** Unstable tree: content digest -> candidate page seen earlier
-     *  this pass; cleared at every pass boundary. */
-    std::unordered_map<std::uint64_t, std::pair<VmId, Gfn>>
-        unstable_tree_;
+
+    /** Unstable tree: flat table of candidate pages seen earlier this
+     *  pass; "cleared" at every pass boundary by bumping pass_epoch_. */
+    std::vector<UnstableSlot> unstable_;
+    std::uint64_t pass_epoch_ = 1;
+    std::size_t unstable_occupied_ = 0; //!< slots with epoch != 0
+    std::size_t unstable_live_ = 0;     //!< slots with epoch == current
+
+    std::vector<std::vector<PageScanState>> page_state_;
+    std::vector<FrameMemo> frame_memo_;
 
     // Cached counter handles: scanOne() runs per visited page, so the
     // string-keyed StatSet lookups are hoisted out of the hot loop.
@@ -175,6 +297,8 @@ class KsmScanner
     std::uint64_t &stat_stable_merges_;
     std::uint64_t &stat_unstable_promotions_;
     std::uint64_t &stat_pages_visited_;
+    std::uint64_t &stat_gen_skipped_;
+    std::uint64_t &stat_digest_cache_hits_;
 };
 
 } // namespace jtps::ksm

@@ -27,10 +27,15 @@ FrameTable::allocRaw(const PageData &initial)
         hfn = frames_.size();
         frames_.emplace_back();
         allocated_.push_back(false);
+        write_gens_.push_back(0);
     }
 
     Frame &f = frames_[hfn];
     f.data = initial;
+    // A recycled hfn gets a fresh generation here, so any cache entry
+    // keyed by (hfn, generation) from the previous tenant can never
+    // match again.
+    write_gens_[hfn] = ++write_gen_clock_;
     f.refcount = 0;
     f.ksmStable = false;
     f.referenced = true;
@@ -109,6 +114,12 @@ FrameTable::removeMapping(Hfn hfn, const Mapping &m)
     Frame &f = frame(hfn);
     jtps_assert(!f.pinned);
     jtps_assert(f.refcount >= 1);
+    // Dropping a mapping of a stable frame can reopen merge capacity
+    // (refcount falls below max_page_sharing) or kill the frame
+    // (its stable-tree node goes stale and will be pruned on the next
+    // probe), so cached stable-probe misses must be revalidated.
+    if (f.ksmStable)
+        ++ksm_stable_epoch_;
 
     if (f.primary == m) {
         if (f.extra.empty()) {
@@ -141,6 +152,14 @@ FrameTable::setKsmStable(Hfn hfn, bool stable)
         return;
     jtps_assert(!f.pinned && f.refcount >= 1);
     f.ksmStable = stable;
+    ++ksm_stable_epoch_;
+    // A stable-flag transition also advances the write generation, so
+    // a generation recorded while the frame was an ordinary merge
+    // candidate can never compare equal once the frame has joined (or
+    // left) the stable tree: the scanner's generation fast path may
+    // conclude "not stable" from generation equality alone, without
+    // loading the Frame.
+    write_gens_[hfn] = ++write_gen_clock_;
     if (stable) {
         ++ksm_stable_frames_;
         ksm_sharing_mappings_ += f.refcount - 1;
@@ -157,26 +176,6 @@ FrameTable::freePinned(Hfn hfn)
     jtps_assert(f.pinned && f.refcount == 1);
     f.refcount = 0;
     freeRaw(hfn);
-}
-
-Frame &
-FrameTable::frame(Hfn hfn)
-{
-    jtps_assert(isAllocated(hfn));
-    return frames_[hfn];
-}
-
-const Frame &
-FrameTable::frame(Hfn hfn) const
-{
-    jtps_assert(isAllocated(hfn));
-    return frames_[hfn];
-}
-
-bool
-FrameTable::isAllocated(Hfn hfn) const
-{
-    return hfn < frames_.size() && allocated_[hfn];
 }
 
 void

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/stats.hh"
 #include "base/types.hh"
@@ -140,14 +141,89 @@ class FrameTable
         return ksm_sharing_mappings_;
     }
 
+    /**
+     * Write generation of @p hfn: a value from the table-wide monotonic
+     * clock, assigned on allocation and re-assigned on every content
+     * change (bumpWriteGen()) and on every stable-flag transition
+     * (setKsmStable()). Because the clock is global and never reused,
+     * an equal generation proves that a cached observation refers to
+     * *this* allocation of the frame number (a freed and recycled hfn
+     * gets a fresh generation from allocRaw()), that the content is
+     * unchanged since the observation, and that the frame has not
+     * joined or left the stable tree in between — which is what lets
+     * the KSM scanner skip checksum work, and even loading the Frame
+     * itself, without any content heuristic. Kept in a dense side
+     * array so the scanner's generation compare touches 8 bytes per
+     * frame instead of a whole Frame.
+     */
+    std::uint64_t
+    writeGen(Hfn hfn) const
+    {
+        jtps_assert(isAllocated(hfn));
+        return write_gens_[hfn];
+    }
+
+    /**
+     * Advance @p hfn's write generation (the caller is about to change,
+     * or has just changed, the frame's content). All content mutation
+     * funnels through the hypervisor's pageForWrite(), which calls
+     * this; fresh allocations get a new generation from allocRaw().
+     */
+    void
+    bumpWriteGen(Hfn hfn)
+    {
+        jtps_assert(isAllocated(hfn));
+        write_gens_[hfn] = ++write_gen_clock_;
+    }
+
+    /**
+     * Hint that writeGen(@p hfn) is about to be read. The generation
+     * array is indexed by host frame number while the KSM scanner
+     * walks in guest frame order, so the read is effectively random;
+     * issuing it a few pages ahead hides the miss latency. Tolerates
+     * any hfn (a stale EPT snapshot may race the walk harmlessly).
+     */
+    void
+    prefetchWriteGen(Hfn hfn) const
+    {
+        if (hfn < write_gens_.size())
+            __builtin_prefetch(write_gens_.data() + hfn);
+    }
+
+    /**
+     * Stable-tree epoch: bumped whenever the set of stable frames able
+     * to accept a new sharer can have *grown* — a frame is (un)marked
+     * stable, or a stable frame loses a mapping (its refcount drops
+     * below max_page_sharing, or it dies and its tree node goes
+     * stale). While the epoch is unchanged, a stable-tree probe that
+     * missed must still miss: merges only ever make stable frames
+     * fuller. The KSM scanner uses this to skip re-probing on behalf
+     * of unchanged pages.
+     */
+    std::uint64_t ksmStableEpoch() const { return ksm_stable_epoch_; }
+
     /** Mutable access to a frame (must be allocated). */
-    Frame &frame(Hfn hfn);
+    Frame &
+    frame(Hfn hfn)
+    {
+        jtps_assert(isAllocated(hfn));
+        return frames_[hfn];
+    }
 
     /** Read-only access to a frame (must be allocated). */
-    const Frame &frame(Hfn hfn) const;
+    const Frame &
+    frame(Hfn hfn) const
+    {
+        jtps_assert(isAllocated(hfn));
+        return frames_[hfn];
+    }
 
     /** True if @p hfn currently holds an allocated frame. */
-    bool isAllocated(Hfn hfn) const;
+    bool
+    isAllocated(Hfn hfn) const
+    {
+        return hfn < frames_.size() && allocated_[hfn];
+    }
 
     /** Mark the frame recently used (clock second chance). */
     void touch(Hfn hfn);
@@ -200,7 +276,13 @@ class FrameTable
      *  checkConsistency() cross-checks them against a full walk. */
     std::uint64_t ksm_stable_frames_ = 0;
     std::uint64_t ksm_sharing_mappings_ = 0;
+    /** Monotonic clock behind writeGen(); never yields 0, so a
+     *  zero-initialized cache entry can never match a live frame. */
+    std::uint64_t write_gen_clock_ = 0;
+    std::uint64_t ksm_stable_epoch_ = 1;
     std::vector<Frame> frames_;
+    /** Per-frame write generations, parallel to frames_. */
+    std::vector<std::uint64_t> write_gens_;
     std::vector<bool> allocated_;
     std::vector<Hfn> free_list_;
     std::uint64_t clock_hand_ = 0;   //!< fallback sweep position

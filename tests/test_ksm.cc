@@ -351,3 +351,70 @@ TEST_F(KsmFixture, QuiescenceDetectsConvergence)
     // A second call must find nothing new.
     EXPECT_EQ(scanner->runToQuiescence(), 0u);
 }
+
+TEST_F(KsmFixture, GenerationSkipsSettleConvergedPassesEntirely)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    VmId b = hv->createVm("b", 1 * MiB, 0);
+    // 10 mergeable pairs plus 10 unique pages that stay unmerged.
+    for (Gfn g = 0; g < 10; ++g) {
+        hv->writePage(a, g, PageData::filled(3, g));
+        hv->writePage(b, g, PageData::filled(3, g));
+    }
+    for (Gfn g = 10; g < 20; ++g)
+        hv->writePage(a, g, PageData::filled(100 + g, g));
+
+    for (int pass = 0; pass < 4; ++pass)
+        scanner->scanBatch();
+    ASSERT_EQ(scanner->pagesSharing(), 10u);
+
+    // Converged: one more pass over idle memory is settled entirely by
+    // generation compares (30 resident pages: 20 merged, 10 unique),
+    // and the unique pages' digests come from the per-page cache.
+    const std::uint64_t v0 = stats.get("ksm.pages_visited");
+    const std::uint64_t g0 = stats.get("ksm.pages_gen_skipped");
+    const std::uint64_t d0 = stats.get("ksm.digest_cache_hits");
+    const std::uint64_t n0 = stats.get("ksm.not_calm");
+    scanner->scanBatch();
+    EXPECT_EQ(stats.get("ksm.pages_visited") - v0, 30u);
+    EXPECT_EQ(stats.get("ksm.pages_gen_skipped") - g0, 30u);
+    EXPECT_EQ(stats.get("ksm.digest_cache_hits") - d0, 10u);
+    EXPECT_EQ(stats.get("ksm.not_calm") - n0, 0u);
+}
+
+TEST_F(KsmFixture, WriteInvalidatesExactlyThatPagesGeneration)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    for (Gfn g = 0; g < 10; ++g)
+        hv->writePage(a, g, PageData::filled(100 + g, g));
+    for (int pass = 0; pass < 3; ++pass)
+        scanner->scanBatch();
+
+    hv->writePage(a, 4, PageData::filled(200, 0));
+    const std::uint64_t g0 = stats.get("ksm.pages_gen_skipped");
+    const std::uint64_t n0 = stats.get("ksm.not_calm");
+    scanner->scanBatch();
+    // 9 of 10 pages settle on generation equality; the rewritten one
+    // runs the full calm protocol and fails it (checksum changed).
+    EXPECT_EQ(stats.get("ksm.pages_gen_skipped") - g0, 9u);
+    EXPECT_EQ(stats.get("ksm.not_calm") - n0, 1u);
+}
+
+TEST_F(KsmFixture, DiscardWipesScanStateDespiteIdenticalContent)
+{
+    VmId a = hv->createVm("a", 1 * MiB, 0);
+    for (Gfn g = 0; g < 10; ++g)
+        hv->writePage(a, g, PageData::filled(100 + g, g));
+    for (int pass = 0; pass < 3; ++pass)
+        scanner->scanBatch();
+
+    // Discard and reincarnate one page with byte-identical content: the
+    // per-page state must have been wiped, so the revisit runs the full
+    // calm protocol from scratch (not-calm once, like a fresh page) —
+    // exactly what the old in-EPT checksum reset guaranteed.
+    hv->discardPage(a, 7);
+    hv->writePage(a, 7, PageData::filled(107, 7));
+    const std::uint64_t n0 = stats.get("ksm.not_calm");
+    scanner->scanBatch();
+    EXPECT_EQ(stats.get("ksm.not_calm") - n0, 1u);
+}

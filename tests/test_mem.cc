@@ -329,3 +329,50 @@ TEST(SwapDevice, StatsArePublished)
     EXPECT_EQ(stats.get("host.pswpin"), 1u);
     EXPECT_EQ(stats.get("host.swap_slots"), 0u);
 }
+
+TEST(FrameTable, WriteGenerationIsNeverZeroAndAdvancesOnBump)
+{
+    FrameTable ft(4);
+    Hfn a = ft.alloc({0, 0}, PageData::zero());
+    const std::uint64_t g0 = ft.writeGen(a);
+    EXPECT_NE(g0, 0u); // 0 is reserved for "never observed"
+    ft.bumpWriteGen(a);
+    EXPECT_GT(ft.writeGen(a), g0);
+    // A different frame never shares a generation: the clock is global.
+    Hfn b = ft.alloc({0, 1}, PageData::zero());
+    EXPECT_NE(ft.writeGen(b), ft.writeGen(a));
+}
+
+TEST(FrameTable, FrameReuseAfterFreeAdvancesWriteGeneration)
+{
+    // Regression: a freed and recycled hfn must come back with a fresh
+    // generation, or a cache entry keyed by (hfn, generation) from the
+    // previous tenant would wrongly validate against the new content.
+    FrameTable ft(4);
+    Hfn a = ft.alloc({0, 0}, PageData::filled(1, 1));
+    const std::uint64_t before = ft.writeGen(a);
+    ft.removeMapping(a, {0, 0}); // frees the frame
+    Hfn b = ft.alloc({0, 1}, PageData::filled(1, 1));
+    ASSERT_EQ(a, b); // same hfn recycled (free-list reuse) ...
+    EXPECT_GT(ft.writeGen(b), before); // ... but a strictly newer gen,
+    // even though the content is identical to the previous tenant's.
+}
+
+TEST(FrameTable, StableFlagTransitionAdvancesWriteGeneration)
+{
+    // The KSM scanner concludes "not stable" from generation equality
+    // alone, so joining or leaving the stable tree must look like a
+    // write.
+    FrameTable ft(4);
+    Hfn a = ft.alloc({0, 0}, PageData::filled(2, 2));
+    const std::uint64_t g0 = ft.writeGen(a);
+    ft.setKsmStable(a, true);
+    const std::uint64_t g1 = ft.writeGen(a);
+    EXPECT_GT(g1, g0);
+    ft.setKsmStable(a, false);
+    EXPECT_GT(ft.writeGen(a), g1);
+    // No-op transition: no generation change.
+    const std::uint64_t g2 = ft.writeGen(a);
+    ft.setKsmStable(a, false);
+    EXPECT_EQ(ft.writeGen(a), g2);
+}

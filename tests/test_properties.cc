@@ -381,3 +381,191 @@ TEST_P(GuestSwapFuzz, ContentSurvivesGuestAndHostPressure)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GuestSwapFuzz,
                          ::testing::Values(3, 7, 31, 127, 8191));
+
+namespace
+{
+
+/**
+ * Two complete hypervisor + scanner stacks driven in lockstep with the
+ * same operation stream: one scanner uses incremental (generation
+ * gated) scanning, the other the from-scratch reference mode. Every
+ * observable — merge counters, sharing totals, translations, page
+ * contents — must stay identical, because skipping is gated only on
+ * proofs (generation/epoch equality), never on heuristics.
+ */
+struct TwinStacks
+{
+    static constexpr int numVms = 3;
+    static constexpr Gfn pagesPerVm = 48;
+
+    StatSet inc_stats;
+    StatSet ref_stats;
+    KvmHypervisor inc_hv;
+    KvmHypervisor ref_hv;
+    KsmScanner inc_scanner;
+    KsmScanner ref_scanner;
+
+    static hv::HostConfig
+    hostCfg(Bytes ram)
+    {
+        hv::HostConfig h;
+        h.ramBytes = ram;
+        h.reserveBytes = 0;
+        return h;
+    }
+
+    static KsmConfig
+    ksmCfg(bool incremental)
+    {
+        KsmConfig c;
+        c.pagesToScan = 500;
+        c.incrementalScan = incremental;
+        return c;
+    }
+
+    explicit TwinStacks(Bytes ram)
+        : inc_hv(hostCfg(ram), inc_stats), ref_hv(hostCfg(ram), ref_stats),
+          inc_scanner(inc_hv, ksmCfg(true), inc_stats),
+          ref_scanner(ref_hv, ksmCfg(false), ref_stats)
+    {
+        for (int v = 0; v < numVms; ++v) {
+            inc_hv.createVm("vm" + std::to_string(v),
+                            pagesPerVm * pageSize, 0);
+            ref_hv.createVm("vm" + std::to_string(v),
+                            pagesPerVm * pageSize, 0);
+        }
+    }
+
+    void
+    expectEqual(std::uint64_t seed, int step)
+    {
+        // Every counter the reference scanner maintains must match;
+        // only the two skip-accounting counters may differ (they are
+        // identically zero in reference mode).
+        static const char *counters[] = {
+            "ksm.stale_stable_nodes", "ksm.stale_unstable_nodes",
+            "ksm.skipped_huge",       "ksm.not_calm",
+            "ksm.stable_merges",      "ksm.unstable_promotions",
+            "ksm.pages_visited",
+        };
+        for (const char *c : counters)
+            ASSERT_EQ(inc_stats.get(c), ref_stats.get(c))
+                << c << " seed=" << seed << " step=" << step;
+        ASSERT_EQ(inc_scanner.fullScans(), ref_scanner.fullScans())
+            << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(inc_scanner.pagesShared(), ref_scanner.pagesShared())
+            << "seed=" << seed << " step=" << step;
+        ASSERT_EQ(inc_scanner.pagesSharing(), ref_scanner.pagesSharing())
+            << "seed=" << seed << " step=" << step;
+        for (int v = 0; v < numVms; ++v) {
+            for (Gfn g = 0; g < pagesPerVm; ++g) {
+                ASSERT_EQ(inc_hv.translate(v, g), ref_hv.translate(v, g))
+                    << "seed=" << seed << " step=" << step << " vm=" << v
+                    << " gfn=" << g;
+                const PageData *pi = inc_hv.peek(v, g);
+                const PageData *pr = ref_hv.peek(v, g);
+                ASSERT_EQ(pi == nullptr, pr == nullptr)
+                    << "seed=" << seed << " step=" << step << " vm=" << v
+                    << " gfn=" << g;
+                if (pi != nullptr)
+                    ASSERT_EQ(*pi, *pr)
+                        << "seed=" << seed << " step=" << step
+                        << " vm=" << v << " gfn=" << g;
+            }
+        }
+        inc_hv.checkConsistency();
+        ref_hv.checkConsistency();
+    }
+};
+
+void
+driveTwins(TwinStacks &t, std::uint64_t seed, int steps)
+{
+    Rng rng(seed);
+    for (int step = 0; step < steps; ++step) {
+        const VmId vm = rng.nextBelow(TwinStacks::numVms);
+        const Gfn gfn = rng.nextBelow(TwinStacks::pagesPerVm);
+        const int op = rng.nextBelow(100);
+
+        if (op < 40) {
+            // Small content pool => merges, COW breaks, re-merges.
+            PageData d = PageData::filled(rng.nextBelow(6), 0);
+            t.inc_hv.writePage(vm, gfn, d);
+            t.ref_hv.writePage(vm, gfn, d);
+        } else if (op < 55) {
+            const unsigned sector = rng.nextBelow(mem::sectorsPerPage);
+            const std::uint64_t value = rng.nextBelow(4);
+            t.inc_hv.writeWord(vm, gfn, sector, value);
+            t.ref_hv.writeWord(vm, gfn, sector, value);
+        } else if (op < 67) {
+            t.inc_hv.discardPage(vm, gfn);
+            t.ref_hv.discardPage(vm, gfn);
+        } else if (op < 80) {
+            t.inc_scanner.scanBatch();
+            t.ref_scanner.scanBatch();
+        } else if (op < 90) {
+            t.inc_hv.touchPage(vm, gfn);
+            t.ref_hv.touchPage(vm, gfn);
+        } else {
+            const bool huge = rng.bernoulli(0.5);
+            t.inc_hv.setHugePage(vm, gfn, huge);
+            t.ref_hv.setHugePage(vm, gfn, huge);
+        }
+
+        if (step % 250 == 249)
+            ASSERT_NO_FATAL_FAILURE(t.expectEqual(seed, step));
+    }
+    ASSERT_NO_FATAL_FAILURE(t.expectEqual(seed, steps));
+
+    // Converge both and compare the quiescent state too: the last
+    // passes are exactly the generation-skip-heavy ones.
+    t.inc_scanner.runToQuiescence();
+    t.ref_scanner.runToQuiescence();
+    ASSERT_NO_FATAL_FAILURE(t.expectEqual(seed, -1));
+}
+
+class IncrementalEquivalenceFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(IncrementalEquivalenceFuzz, MatchesReferenceScanner)
+{
+    const std::uint64_t seed = GetParam();
+    TwinStacks t(2 * MiB); // ample RAM: no host paging
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2500));
+    // The equivalence must not be vacuous: the fast path has to have
+    // actually engaged — and never in the reference scanner.
+    EXPECT_GT(t.inc_stats.get("ksm.pages_gen_skipped"), 0u);
+    EXPECT_EQ(t.ref_stats.get("ksm.pages_gen_skipped"), 0u);
+    EXPECT_EQ(t.ref_stats.get("ksm.digest_cache_hits"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalenceFuzz,
+                         ::testing::Values(6, 28, 64, 256, 496, 8128));
+
+namespace
+{
+
+class IncrementalEquivalencePagingFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(IncrementalEquivalencePagingFuzz, MatchesReferenceUnderHostPaging)
+{
+    const std::uint64_t seed = GetParam();
+    // Host RAM below the guests' combined footprint: evictions and
+    // swap-ins constantly retire and reincarnate frames, which is
+    // exactly where stale-generation bugs would hide.
+    TwinStacks t(100 * pageSize);
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2000));
+    EXPECT_GT(t.inc_stats.get("ksm.pages_gen_skipped"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalencePagingFuzz,
+                         ::testing::Values(17, 33, 65, 129, 257));

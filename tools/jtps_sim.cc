@@ -50,6 +50,7 @@ struct Options
     bool csv = false;
     std::string jsonFile;
     std::string traceFile;
+    unsigned analysisThreads = 1;
 };
 
 const char *const knownReports[] = {"breakdown", "java",       "sources",
@@ -79,7 +80,9 @@ usage(const char *argv0)
         "                  throughput | timeline | all\n"
         "  --csv           CSV output where available\n"
         "  --json FILE     write the full run document as JSON\n"
-        "  --trace FILE    record a structured event trace, write JSON\n",
+        "  --trace FILE    record a structured event trace, write JSON\n"
+        "  --analysis-threads N  shard the forensics walk/accounting\n"
+        "                  across N threads (same bytes at any N)\n",
         argv0);
     std::exit(2);
 }
@@ -129,6 +132,9 @@ parse(int argc, char **argv)
             opt.jsonFile = need(i);
         else if (arg == "--trace")
             opt.traceFile = need(i);
+        else if (arg == "--analysis-threads")
+            opt.analysisThreads =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
         else
             usage(argv[0]);
     }
@@ -277,6 +283,8 @@ main(int argc, char **argv)
     cfg.warmupMs = opt.warmupMs;
     cfg.steadyMs = opt.steadyMs;
     cfg.seed = opt.seed;
+    cfg.analysisThreads =
+        opt.analysisThreads == 0 ? 1 : opt.analysisThreads;
 
     std::vector<workload::WorkloadSpec> vms(
         static_cast<std::size_t>(opt.vms), pickWorkload(opt));
