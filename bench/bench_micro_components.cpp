@@ -23,6 +23,7 @@
 #include "hv/hypervisor.hh"
 #include "jvm/java_heap.hh"
 #include "ksm/ksm_scanner.hh"
+#include "sim/event_queue.hh"
 
 using namespace jtps;
 
@@ -282,6 +283,34 @@ BM_CollapseIdenticalPages(benchmark::State &state)
 BENCHMARK(BM_CollapseIdenticalPages);
 
 void
+BM_EventQueueChurn(benchmark::State &state)
+{
+    // The simulator's standing load on the event queue: every
+    // component is a periodic event that reschedules itself each wake,
+    // so a run is almost pure pop-min + push churn at a roughly stable
+    // queue size — the case the binary heap replaces the old std::map
+    // for. Mixed periods keep the heap order genuinely shuffling.
+    const int n_events = static_cast<int>(state.range(0));
+    sim::EventQueue q;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < n_events; ++i) {
+        const Tick period = 1 + (i % 7) + (i % 3);
+        q.schedulePeriodic(period, [&fired]() {
+            ++fired;
+            return true;
+        });
+    }
+    Tick until = 0;
+    for (auto _ : state) {
+        until += 16;
+        q.runUntil(until);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+    q.clear();
+}
+BENCHMARK(BM_EventQueueChurn)->Arg(16)->Arg(256);
+
+void
 BM_GcCycle(benchmark::State &state)
 {
     StatSet stats;
@@ -358,13 +387,15 @@ convergedScenario()
 }
 
 void
-convergedScanPass(benchmark::State &state, bool incremental)
+convergedScanPass(benchmark::State &state, bool incremental,
+                  unsigned scan_threads = 1)
 {
     core::Scenario &scenario = convergedScenario();
     StatSet stats;
     ksm::KsmConfig cfg;
     cfg.pagesToScan = 1u << 30; // one batch = one pass
     cfg.incrementalScan = incremental;
+    cfg.scanThreads = scan_threads;
     ksm::KsmScanner scanner(scenario.hv(), cfg, stats);
     scanner.scanBatch(); // pass 1: record checksums/generations
     scanner.scanBatch(); // pass 2: calm now; digests + trees built
@@ -387,6 +418,21 @@ BM_ConvergedScanPassIncremental(benchmark::State &state)
     convergedScanPass(state, /*incremental=*/true);
 }
 BENCHMARK(BM_ConvergedScanPassIncremental);
+
+void
+BM_ConvergedScanPassParallel(benchmark::State &state)
+{
+    // The two-phase classify/commit scan at 1/2/4 classify threads
+    // over the same converged image. Arg(1) takes the serial path
+    // (scanThreads <= 1), so the parallel rows read directly against
+    // BM_ConvergedScanPassIncremental. Results are byte-identical at
+    // every width (ParallelScanEquivalenceFuzz); only the wall clock
+    // may differ, and on a single-core host the sharded rows measure
+    // pool handoff overhead rather than speedup.
+    convergedScanPass(state, /*incremental=*/true,
+                      static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(BM_ConvergedScanPassParallel)->Arg(1)->Arg(2)->Arg(4);
 
 void
 BM_ConvergedForensicsSnapshot(benchmark::State &state)
@@ -478,6 +524,28 @@ main(int argc, char **argv)
         json.summaryField("converged_scan_speedup",
                           scan_ref / scan_inc);
     }
+    const double sp1 =
+        reporter.realTimeNs("BM_ConvergedScanPassParallel/1");
+    const double sp2 =
+        reporter.realTimeNs("BM_ConvergedScanPassParallel/2");
+    const double sp4 =
+        reporter.realTimeNs("BM_ConvergedScanPassParallel/4");
+    if (sp1 > 0 && sp2 > 0 && sp4 > 0) {
+        json.summaryField("converged_scan_ns_parallel1", sp1);
+        json.summaryField("converged_scan_ns_parallel2", sp2);
+        json.summaryField("converged_scan_ns_parallel4", sp4);
+        // Speedup of the 4-thread two-phase pass over the serial
+        // incremental pass; < 1 on hosts without the cores.
+        if (scan_inc > 0)
+            json.summaryField("converged_scan_parallel4_speedup",
+                              scan_inc / sp4);
+    }
+    const double eq16 = reporter.realTimeNs("BM_EventQueueChurn/16");
+    const double eq256 = reporter.realTimeNs("BM_EventQueueChurn/256");
+    if (eq16 > 0)
+        json.summaryField("event_queue_churn_ns_16", eq16);
+    if (eq256 > 0)
+        json.summaryField("event_queue_churn_ns_256", eq256);
     const double fx1 =
         reporter.realTimeNs("BM_ConvergedForensicsSnapshot/1");
     const double fx4 =

@@ -28,7 +28,9 @@ Scenario::build()
     // hv().trace(). Events are stamped with simulated time.
     trace_.setClock([this]() { return queue_.now(); });
     hv_->setTrace(&trace_);
-    ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, cfg_.ksm, stats_);
+    ksm::KsmConfig kcfg = cfg_.ksm;
+    kcfg.scanThreads = cfg_.ksmScanThreads;
+    ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, kcfg, stats_);
 
     // Synthesize each distinct program's class set once: the classes
     // are a property of the installed software, not of a VM.

@@ -103,6 +103,16 @@ struct ScenarioConfig
      * serial.
      */
     unsigned analysisThreads = 1;
+
+    /**
+     * Worker threads for the KSM scan's classify phase (overrides
+     * ksm.scanThreads at build()). Like analysisThreads, a pure
+     * machine-sizing knob: merges, counters and traces are
+     * byte-identical at any value because all scan mutations replay
+     * serially in canonical order (docs/PERF.md); <= 1 keeps the scan
+     * fully serial.
+     */
+    unsigned ksmScanThreads = 1;
 };
 
 /**

@@ -102,7 +102,14 @@ Hypervisor::evictOne()
 
     mem::Frame &f = frames_.frame(victim);
     jtps_assert(!f.pinned);
-    std::vector<mem::Mapping> mappings = f.mappings();
+    // The swap record needs the mappings as a vector anyway; build it
+    // reserved to the known arity instead of letting mappings() grow
+    // one push_back at a time (this runs once per eviction, which the
+    // overcommit sweeps do millions of times).
+    std::vector<mem::Mapping> mappings;
+    mappings.reserve(f.refcount);
+    f.forEachMapping(
+        [&](const mem::Mapping &m) { mappings.push_back(m); });
     jtps_assert(!mappings.empty());
     const mem::PageData data = f.data;
 

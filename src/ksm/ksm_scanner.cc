@@ -45,7 +45,10 @@ KsmScanner::KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg,
       stat_unstable_promotions_(stats.counter("ksm.unstable_promotions")),
       stat_pages_visited_(stats.counter("ksm.pages_visited")),
       stat_gen_skipped_(stats.counter("ksm.pages_gen_skipped")),
-      stat_digest_cache_hits_(stats.counter("ksm.digest_cache_hits"))
+      stat_digest_cache_hits_(stats.counter("ksm.digest_cache_hits")),
+      stat_scan_shards_(stats.counter("ksm.scan_shards")),
+      stat_precheck_candidates_(stats.counter("ksm.precheck_candidates")),
+      stat_commit_replays_(stats.counter("ksm.commit_replays"))
 {
     hv_.addPageListener(this);
 }
@@ -304,27 +307,49 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
         }
     }
 
+    treeStage(vm, gfn, ft, ps, hfn, digest, data, skip_stable_probe,
+              nullptr);
+    return true;
+}
+
+void
+KsmScanner::treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
+                      PageScanState &ps, Hfn hfn, std::uint64_t digest,
+                      const mem::PageData *data, bool skip_stable_probe,
+                      const PageSnap *snap)
+{
     // Stable tree first.
     if (!skip_stable_probe) {
-        if (!data)
-            data = &ft.frame(hfn).data;
-        const Hfn stable = stableLookup(*data, digest);
-        if (stable != invalidFrame) {
-            if (hv_.ksmMergeInto(stable, vm, gfn)) {
-                ++merges_this_pass_;
-                ++merges_total_;
-                ++stat_stable_merges_;
-                if (TraceBuffer *t = hv_.trace())
-                    t->record(TraceEventType::KsmStableMerge, vm, gfn,
-                              stable);
+        if (snap && snap->probeCleanMiss &&
+            snap->probeEpoch == ft.ksmStableEpoch()) {
+            // The read-only classify probe walked the whole chain and
+            // met neither a stale node nor an acceptable one, and the
+            // stable epoch has not moved since: no node can have been
+            // added, gone stale or regained capacity without a bump,
+            // so a real lookup would do nothing but miss. Record the
+            // miss exactly as the serial visit would.
+            ps.lastStableEpoch = ft.ksmStableEpoch();
+        } else {
+            if (!data)
+                data = &ft.frame(hfn).data;
+            const Hfn stable = stableLookup(*data, digest);
+            if (stable != invalidFrame) {
+                if (hv_.ksmMergeInto(stable, vm, gfn)) {
+                    ++merges_this_pass_;
+                    ++merges_total_;
+                    ++stat_stable_merges_;
+                    if (TraceBuffer *t = hv_.trace())
+                        t->record(TraceEventType::KsmStableMerge, vm,
+                                  gfn, stable);
+                }
+                return;
             }
-            return true;
+            // Record the miss: while the stable epoch stays put,
+            // revisits of this unchanged page may skip the probe (and
+            // the pruning it would do — a missing probe already pruned
+            // its bucket clean).
+            ps.lastStableEpoch = ft.ksmStableEpoch();
         }
-        // Record the miss: while the stable epoch stays put, revisits
-        // of this unchanged page may skip the probe (and the pruning
-        // it would do — a missing probe already pruned its bucket
-        // clean).
-        ps.lastStableEpoch = ft.ksmStableEpoch();
     }
 
     // Unstable tree: find another calm page with the same content seen
@@ -355,7 +380,7 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
     if (slot != npos) {
         UnstableSlot &u = unstable_[slot];
         if (u.vm == vm && u.gfn == gfn) {
-            return true; // same page revisited
+            return; // same page revisited
         }
         if (!data)
             data = &ft.frame(hfn).data;
@@ -367,7 +392,7 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
             u.vm = vm;
             u.gfn = gfn;
             ++stat_stale_unstable_;
-            return true;
+            return;
         }
         Hfn fresh = hv_.ksmMakeStable(u.vm, u.gfn);
         jtps_assert(fresh != invalidFrame);
@@ -382,7 +407,7 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
                 t->record(TraceEventType::KsmUnstablePromotion, vm, gfn,
                           fresh);
         }
-        return true;
+        return;
     }
 
     // Miss: insert. Keep at least ~30% never-used slots so probe
@@ -407,33 +432,15 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
     }
     unstable_[insert_at] = UnstableSlot{digest, pass_epoch_, vm, gfn};
     ++unstable_live_;
-    return true;
 }
 
 bool
-KsmScanner::advanceCursor()
+KsmScanner::cursorNext()
 {
     const std::size_t nvms = hv_.vmCount();
-    if (nvms == 0)
-        return false;
-
     for (;;) {
-        if (cur_vm_ >= nvms) {
-            // End of a full pass over all mergeable memory.
-            cur_vm_ = 0;
-            cur_gfn_ = 0;
-            ++full_scans_;
-            stats_.set("ksm.full_scans", full_scans_);
-            // Clearing the unstable tree is one epoch bump: last
-            // pass's entries go stale in place and their slots are
-            // reused by the next pass's inserts.
-            ++pass_epoch_;
-            unstable_live_ = 0;
-            if (TraceBuffer *t = hv_.trace())
-                t->record(TraceEventType::KsmFullScan, invalidVm,
-                          full_scans_, merges_total_);
-            return false;
-        }
+        if (cur_vm_ >= nvms)
+            return false; // end of a full pass over mergeable memory
         const hv::Vm &v = hv_.vm(cur_vm_);
         if (!v.mergeable || cur_gfn_ >= v.ept.size()) {
             ++cur_vm_;
@@ -444,12 +451,48 @@ KsmScanner::advanceCursor()
     }
 }
 
+void
+KsmScanner::passBoundary()
+{
+    cur_vm_ = 0;
+    cur_gfn_ = 0;
+    ++full_scans_;
+    stats_.set("ksm.full_scans", full_scans_);
+    // Clearing the unstable tree is one epoch bump: last pass's
+    // entries go stale in place and their slots are reused by the
+    // next pass's inserts.
+    ++pass_epoch_;
+    unstable_live_ = 0;
+    if (TraceBuffer *t = hv_.trace())
+        t->record(TraceEventType::KsmFullScan, invalidVm, full_scans_,
+                  merges_total_);
+}
+
+bool
+KsmScanner::advanceCursor()
+{
+    if (hv_.vmCount() == 0)
+        return false;
+    if (!cursorNext()) {
+        passBoundary();
+        return false;
+    }
+    return true;
+}
+
 std::uint64_t
 KsmScanner::scanBatch()
 {
     if (hv_.vmCount() == 0)
         return 0;
+    if (cfg_.scanThreads >= 2)
+        return scanBatchParallel();
+    return scanBatchSerial();
+}
 
+std::uint64_t
+KsmScanner::scanBatchSerial()
+{
     mem::FrameTable &ft = hv_.frames();
     std::uint64_t visited = 0;
     while (visited < cfg_.pagesToScan) {
@@ -503,6 +546,319 @@ KsmScanner::scanBatch()
             ++cur_gfn_;
         }
     }
+    stat_pages_visited_ += visited;
+    return visited;
+}
+
+bool
+KsmScanner::stableProbeCleanMiss(const mem::FrameTable &ft,
+                                 const mem::PageData &data,
+                                 std::uint64_t digest) const
+{
+    const auto bucket = stable_tree_.find(digest);
+    if (bucket == stable_tree_.end())
+        return true;
+    for (const Hfn hfn : bucket->second) {
+        if (!ft.isAllocated(hfn) || !ft.frame(hfn).ksmStable ||
+            !(ft.frame(hfn).data == data))
+            return false; // stale: a real lookup would prune here
+        if (ft.frame(hfn).refcount >= cfg_.maxPageSharing)
+            continue; // full: a real lookup skips it and walks on
+        return false; // acceptable node: a real lookup would merge
+    }
+    return true;
+}
+
+void
+KsmScanner::classifyOne(VmId vm, Gfn gfn, const hv::Vm &v,
+                        const mem::FrameTable &ft,
+                        const PageScanState *psv, PageSnap &snap) const
+{
+    // Residency was established by the collect walk and is frozen for
+    // the batch (the scanner never allocates, evicts or discards), so
+    // this mirrors the serial decision tree from the huge-page check
+    // down — reading, never writing. The per-page state is safe to
+    // read here because only a page's own visit mutates it, and this
+    // page's commit has not run yet.
+    if (!v.hugePages.empty() && v.hugePages[gfn]) {
+        snap.kind = PageSnap::Kind::Huge;
+        return;
+    }
+
+    const Hfn hfn = v.ept.entry(gfn).backing;
+    const std::uint64_t gen = ft.writeGen(hfn);
+    const PageScanState &ps = psv[gfn];
+    snap.gen = gen;
+
+    std::uint64_t digest;
+    if (cfg_.incrementalScan && ps.lastGen == gen) {
+        if (ps.lastStable) {
+            snap.kind = PageSnap::Kind::GenStable;
+            return;
+        }
+        snap.kind = PageSnap::Kind::GenCalm;
+        if (ps.digestValid) {
+            digest = ps.lastDigest;
+        } else {
+            digest = ft.frame(hfn).data.digest();
+            snap.digest = digest;
+            snap.hasDigest = true;
+        }
+        // Commit re-evaluates the serial epoch-skip rule against the
+        // then-current epoch; probing here would be wasted work when
+        // the skip is going to hold.
+        if (ps.lastStableEpoch != 0 &&
+            ps.lastStableEpoch == ft.ksmStableEpoch())
+            return;
+    } else {
+        if (ft.frame(hfn).ksmStable) {
+            snap.kind = PageSnap::Kind::SlowStable;
+            return;
+        }
+        const mem::PageData &data = ft.frame(hfn).data;
+        const std::uint32_t sum = data.checksum();
+        snap.checksum = sum;
+        snap.hasChecksum = true;
+        if (!(ps.checksumValid && ps.lastChecksum == sum)) {
+            snap.kind = PageSnap::Kind::NotCalm;
+            return;
+        }
+        snap.kind = PageSnap::Kind::SlowCalm;
+        digest = data.digest();
+        snap.digest = digest;
+        snap.hasDigest = true;
+    }
+
+    // Read-only stable probe. Only a clean miss is recorded: any
+    // other outcome (a hit, or a chain with stale nodes to prune) has
+    // side effects the commit must replay against the live tree.
+    snap.probeCleanMiss =
+        stableProbeCleanMiss(ft, ft.frame(hfn).data, digest);
+    snap.probeEpoch = ft.ksmStableEpoch();
+}
+
+void
+KsmScanner::classifyRange(const mem::FrameTable &ft, std::size_t begin,
+                          std::size_t end)
+{
+    VmId last_vm = invalidVm;
+    const hv::Vm *v = nullptr;
+    const PageScanState *psv = nullptr;
+    const hv::Hypervisor &chv = hv_;
+    for (std::size_t i = begin; i < end; ++i) {
+        const WorkItem w = work_[i];
+        if (w.vm != last_vm) {
+            v = &chv.vm(w.vm);
+            psv = page_state_[w.vm].data();
+            last_vm = w.vm;
+        }
+        classifyOne(w.vm, w.gfn, *v, ft, psv, snaps_[i]);
+    }
+}
+
+std::uint64_t
+KsmScanner::commitDigest(Hfn hfn, std::uint64_t gen,
+                         const PageSnap &snap, const mem::PageData &data)
+{
+    FrameMemo &m = frameMemo(hfn);
+    if (m.gen != gen) {
+        m = FrameMemo{};
+        m.gen = gen;
+    }
+    if (m.hasDigest) {
+        ++stat_digest_cache_hits_;
+        return m.digest;
+    }
+    m.digest = snap.hasDigest ? snap.digest : data.digest();
+    m.hasDigest = true;
+    return m.digest;
+}
+
+std::uint32_t
+KsmScanner::commitChecksum(Hfn hfn, std::uint64_t gen,
+                           const PageSnap &snap,
+                           const mem::PageData &data)
+{
+    FrameMemo &m = frameMemo(hfn);
+    if (m.gen != gen) {
+        m = FrameMemo{};
+        m.gen = gen;
+    }
+    if (!m.hasChecksum) {
+        m.checksum = snap.hasChecksum ? snap.checksum : data.checksum();
+        m.hasChecksum = true;
+    }
+    return m.checksum;
+}
+
+void
+KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
+                      mem::FrameTable &ft, PageScanState *psv,
+                      const PageSnap &snap)
+{
+    if (snap.kind == PageSnap::Kind::Huge) {
+        // hugePages flags are frozen for the batch: always valid.
+        ++stat_skipped_huge_;
+        return;
+    }
+
+    const Hfn hfn = v.ept.entry(gfn).backing;
+    if (ft.writeGen(hfn) != snap.gen) {
+        // The frame moved since classify — an earlier commit promoted
+        // it to stable (the only mid-batch generation source), or the
+        // page was remapped. Nothing recorded in the snap is provable
+        // any more: run the full serial visit.
+        ++stat_commit_replays_;
+        scanOne(vm, gfn, v, ft, psv);
+        return;
+    }
+
+    // From here on the write generation seen by classify still holds,
+    // so every snap value is exactly what the serial visit would have
+    // computed, and the replay below performs the serial visit's
+    // mutations verbatim (compare scanOne()).
+    PageScanState &ps = psv[gfn];
+    const std::uint64_t gen = snap.gen;
+    const mem::PageData *data = nullptr;
+    std::uint64_t digest;
+    bool skip_stable_probe = false;
+
+    switch (snap.kind) {
+    case PageSnap::Kind::Huge:
+        return; // handled above
+    case PageSnap::Kind::GenStable:
+        ++stat_gen_skipped_;
+        return;
+    case PageSnap::Kind::GenCalm:
+        ++stat_gen_skipped_;
+        if (ps.digestValid) {
+            ++stat_digest_cache_hits_;
+            digest = ps.lastDigest;
+        } else {
+            data = &ft.frame(hfn).data;
+            digest = commitDigest(hfn, gen, snap, *data);
+            ps.lastDigest = digest;
+            ps.digestValid = true;
+        }
+        skip_stable_probe = ps.lastStableEpoch != 0 &&
+                            ps.lastStableEpoch == ft.ksmStableEpoch();
+        break;
+    case PageSnap::Kind::SlowStable:
+        if (cfg_.incrementalScan) {
+            ps.lastGen = gen;
+            ps.lastStable = true;
+            ps.digestValid = false;
+            ps.lastStableEpoch = 0;
+        }
+        return;
+    case PageSnap::Kind::NotCalm:
+    case PageSnap::Kind::SlowCalm: {
+        data = &ft.frame(hfn).data;
+        const std::uint32_t sum =
+            cfg_.incrementalScan ? commitChecksum(hfn, gen, snap, *data)
+                                 : snap.checksum;
+        ps.lastChecksum = sum;
+        ps.checksumValid = true;
+        ps.lastGen = gen;
+        ps.lastStable = false;
+        ps.lastStableEpoch = 0;
+        ps.digestValid = false;
+        if (snap.kind == PageSnap::Kind::NotCalm) {
+            ++stat_not_calm_;
+            return;
+        }
+        digest = cfg_.incrementalScan
+                     ? commitDigest(hfn, gen, snap, *data)
+                     : snap.digest;
+        if (cfg_.incrementalScan) {
+            ps.lastDigest = digest;
+            ps.digestValid = true;
+        }
+        break;
+    }
+    }
+
+    treeStage(vm, gfn, ft, ps, hfn, digest, data, skip_stable_probe,
+              &snap);
+}
+
+std::uint64_t
+KsmScanner::scanBatchParallel()
+{
+    mem::FrameTable &ft = hv_.frames();
+
+    // ---- Collect: replicate the serial cursor walk read-only,
+    // building the batch's work list in serial visit order. Like the
+    // serial loop, only resident pages consume scan budget, and a
+    // pass boundary ends the batch (processed after the commits so
+    // the KsmFullScan trace event sees this batch's merges).
+    work_.clear();
+    std::uint64_t visited = 0;
+    bool boundary = false;
+    while (visited < cfg_.pagesToScan) {
+        if (!cursorNext()) {
+            boundary = true;
+            break;
+        }
+        const hv::Vm &v = hv_.vm(cur_vm_);
+        // Size this VM's page-state row now, single-threaded, so the
+        // classify workers only ever index into settled storage.
+        pageStateRow(cur_vm_, v);
+        const Gfn gfn_end = v.ept.size();
+        while (cur_gfn_ < gfn_end && visited < cfg_.pagesToScan) {
+            if (v.ept.entry(cur_gfn_).state == hv::PageState::Resident) {
+                work_.push_back(WorkItem{cur_vm_, cur_gfn_});
+                ++visited;
+            }
+            ++cur_gfn_;
+        }
+    }
+
+    // ---- Classify: fan fixed-size shards out to the pool. Workers
+    // only read (frozen frame table, EPTs, per-page state) and only
+    // write their own snaps_ range; determinism needs no ordering
+    // here because commit ignores completion order entirely.
+    if (!work_.empty()) {
+        snaps_.assign(work_.size(), PageSnap{});
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(cfg_.scanThreads);
+        const std::size_t shard =
+            std::max<std::size_t>(1, cfg_.scanShardPages);
+        const mem::FrameTable &cft = ft;
+        std::uint64_t shards = 0;
+        for (std::size_t begin = 0; begin < work_.size();
+             begin += shard) {
+            const std::size_t end =
+                std::min(work_.size(), begin + shard);
+            ++shards;
+            pool_->submit(
+                [this, &cft, begin, end] { classifyRange(cft, begin, end); });
+        }
+        pool_->wait();
+        stat_scan_shards_ += shards;
+    }
+
+    // ---- Commit: replay verdicts serially in collect order. All
+    // mutations happen here, exactly as the serial scanner interleaves
+    // them, so merges, counters and traces are byte-identical.
+    VmId last_vm = invalidVm;
+    const hv::Vm *v = nullptr;
+    PageScanState *psv = nullptr;
+    for (std::size_t i = 0; i < work_.size(); ++i) {
+        const WorkItem w = work_[i];
+        if (w.vm != last_vm) {
+            v = &hv_.vm(w.vm);
+            psv = page_state_[w.vm].data();
+            last_vm = w.vm;
+        }
+        const PageSnap &snap = snaps_[i];
+        if (snap.kind == PageSnap::Kind::GenCalm ||
+            snap.kind == PageSnap::Kind::SlowCalm)
+            ++stat_precheck_candidates_;
+        commitOne(w.vm, w.gfn, *v, ft, psv, snap);
+    }
+    if (boundary)
+        passBoundary();
     stat_pages_visited_ += visited;
     return visited;
 }

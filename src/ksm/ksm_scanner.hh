@@ -44,17 +44,34 @@
  * behaviour and every counter are identical to a from-scratch scan
  * (KsmConfig::incrementalScan = false gives that reference mode; the
  * property tests drive both side by side).
+ *
+ * Parallel scanning (docs/PERF.md): with KsmConfig::scanThreads >= 2 a
+ * batch runs in two phases. *Classify* shards the batch's work list
+ * across a thread pool; workers do only read-only work against the
+ * frozen pre-batch state (generation checks, checksum/digest
+ * computation, stable-tree probes) and record a per-page verdict plus
+ * the expensive values. *Commit* then replays the verdicts on the
+ * calling thread in the exact serial visit order, performing every
+ * mutation (merges, unstable-table inserts, per-page state updates,
+ * counters, trace records) as the serial scanner would; a snapshot
+ * value is substituted only under a write-generation proof that it is
+ * what the serial visit would have computed, and any page whose frame
+ * moved mid-commit falls back to a full serial visit
+ * (`ksm.commit_replays`). Merges, counters and trace streams are
+ * therefore byte-identical at any thread count.
  */
 
 #ifndef JTPS_KSM_KSM_SCANNER_HH
 #define JTPS_KSM_KSM_SCANNER_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "base/stats.hh"
+#include "base/thread_pool.hh"
 #include "base/types.hh"
 #include "hv/hypervisor.hh"
 #include "mem/page_data.hh"
@@ -87,6 +104,22 @@ struct KsmConfig
      * used by the equivalence tests and the before/after micro bench.
      */
     bool incrementalScan = true;
+    /**
+     * Worker threads for the scan's classify phase. <= 1 keeps the
+     * scan fully serial on the calling thread; >= 2 enables the
+     * two-phase classify/commit split. Merges, counters and traces
+     * are byte-identical at any value (docs/PERF.md); only
+     * `ksm.scan_shards` / `ksm.precheck_candidates` /
+     * `ksm.commit_replays` move off zero when the split is active.
+     */
+    unsigned scanThreads = 1;
+    /**
+     * Pages per classify shard. Fixed (not derived from scanThreads)
+     * so the shard boundaries — and with them `ksm.scan_shards` — are
+     * identical at every thread count. Tests shrink it to force
+     * multi-shard batches on tiny memories.
+     */
+    std::uint32_t scanShardPages = 4096;
 };
 
 /**
@@ -222,6 +255,51 @@ class KsmScanner : public hv::PageEventListener
         Gfn gfn = invalidFrame;
     };
 
+    /** One entry of a parallel batch's work list: a resident page the
+     *  serial scan would have visited, in serial cursor order. */
+    struct WorkItem
+    {
+        VmId vm;
+        Gfn gfn;
+    };
+
+    /**
+     * Classify-phase verdict for one work item, produced read-only by
+     * a worker thread and consumed by the serial commit. `gen` is the
+     * proof token: commit uses the recorded values only while the
+     * frame's write generation still equals it, and falls back to a
+     * full serial visit otherwise.
+     */
+    struct PageSnap
+    {
+        enum class Kind : std::uint8_t
+        {
+            Huge,       //!< THP-backed: skip (counts skipped_huge)
+            GenStable,  //!< gen fast path, provably still stable
+            GenCalm,    //!< gen fast path, provably calm
+            SlowStable, //!< slow path, frame was KSM-stable
+            NotCalm,    //!< slow path, checksum moved since last visit
+            SlowCalm,   //!< slow path, calm: full tree candidate
+        };
+
+        std::uint64_t gen = 0;
+        std::uint64_t digest = 0;
+        /** Stable epoch at which the read-only probe cleanly missed. */
+        std::uint64_t probeEpoch = 0;
+        std::uint32_t checksum = 0;
+        Kind kind = Kind::Huge;
+        bool hasDigest = false;
+        bool hasChecksum = false;
+        /**
+         * The read-only stable-tree probe walked the whole chain
+         * without meeting a stale node or an acceptable (live,
+         * non-full) one. That is the only probe outcome commit may
+         * reuse: while the stable epoch still equals probeEpoch, a
+         * real lookup would provably do nothing but miss.
+         */
+        bool probeCleanMiss = false;
+    };
+
     /**
      * Visit one candidate page. @p v, @p ft and @p psv are hoisted by
      * scanBatch() (the VM, frame table, and this VM's page-state row)
@@ -231,8 +309,68 @@ class KsmScanner : public hv::PageEventListener
     bool scanOne(VmId vm, Gfn gfn, const hv::Vm &v, mem::FrameTable &ft,
                  PageScanState *psv);
 
+    /** The serial scan loop (scanThreads <= 1, and the reference the
+     *  parallel path must be byte-identical to). */
+    std::uint64_t scanBatchSerial();
+
+    /** The two-phase collect/classify/commit scan loop. */
+    std::uint64_t scanBatchParallel();
+
+    /** Classify work_[begin, end) into snaps_ (worker thread;
+     *  read-only — no counters, no memo, no per-page state writes). */
+    void classifyRange(const mem::FrameTable &ft, std::size_t begin,
+                       std::size_t end);
+
+    /** Classify one work item into @p snap. */
+    void classifyOne(VmId vm, Gfn gfn, const hv::Vm &v,
+                     const mem::FrameTable &ft,
+                     const PageScanState *psv, PageSnap &snap) const;
+
+    /** Replay one classified page on the calling thread, mutating
+     *  exactly as the serial visit would. */
+    void commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
+                   mem::FrameTable &ft, PageScanState *psv,
+                   const PageSnap &snap);
+
+    /**
+     * Stable-probe + unstable-table stage shared by the serial visit
+     * and the commit replay. @p data may be null (loaded lazily);
+     * @p snap, when non-null, may let the stable probe be settled as
+     * a clean miss under the epoch proof.
+     */
+    void treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
+                   PageScanState &ps, Hfn hfn, std::uint64_t digest,
+                   const mem::PageData *data, bool skip_stable_probe,
+                   const PageSnap *snap);
+
+    /** True iff a stableLookup of (@p data, @p digest) would miss
+     *  without pruning anything. Read-only (worker-safe). */
+    bool stableProbeCleanMiss(const mem::FrameTable &ft,
+                              const mem::PageData &data,
+                              std::uint64_t digest) const;
+
+    /** memoDigest(), but a generation-proved snapshot value stands in
+     *  for the recompute (hit accounting and memo end-state are
+     *  byte-identical to the serial visit). */
+    std::uint64_t commitDigest(Hfn hfn, std::uint64_t gen,
+                               const PageSnap &snap,
+                               const mem::PageData &data);
+
+    /** memoChecksum(), with the same snapshot substitution. */
+    std::uint32_t commitChecksum(Hfn hfn, std::uint64_t gen,
+                                 const PageSnap &snap,
+                                 const mem::PageData &data);
+
     /** Advance the cursor; returns false at the end of a full pass. */
     bool advanceCursor();
+
+    /** Pure cursor movement: skip to the next mergeable in-range
+     *  position; false at the end of a pass (no bookkeeping). */
+    bool cursorNext();
+
+    /** End-of-pass bookkeeping: reset the cursor, bump the pass epoch,
+     *  record the KsmFullScan trace event. */
+    void passBoundary();
 
     /**
      * Look up @p data (whose digest is @p digest) in the stable tree,
@@ -288,6 +426,12 @@ class KsmScanner : public hv::PageEventListener
     std::vector<std::vector<PageScanState>> page_state_;
     std::vector<FrameMemo> frame_memo_;
 
+    /** Classify workers (created on the first parallel batch). */
+    std::unique_ptr<ThreadPool> pool_;
+    /** Parallel batch buffers, reused across batches. */
+    std::vector<WorkItem> work_;
+    std::vector<PageSnap> snaps_;
+
     // Cached counter handles: scanOne() runs per visited page, so the
     // string-keyed StatSet lookups are hoisted out of the hot loop.
     std::uint64_t &stat_stale_stable_;
@@ -299,6 +443,9 @@ class KsmScanner : public hv::PageEventListener
     std::uint64_t &stat_pages_visited_;
     std::uint64_t &stat_gen_skipped_;
     std::uint64_t &stat_digest_cache_hits_;
+    std::uint64_t &stat_scan_shards_;
+    std::uint64_t &stat_precheck_candidates_;
+    std::uint64_t &stat_commit_replays_;
 };
 
 } // namespace jtps::ksm

@@ -67,7 +67,12 @@ struct Frame
             fn(m);
     }
 
-    /** Collect all reverse mappings into a vector. */
+    /**
+     * Collect all reverse mappings into a vector. Allocates per call:
+     * test/debug convenience only — hot paths (eviction, forensics,
+     * KSM) iterate with forEachMapping() or reserve the vector at the
+     * call site.
+     */
     std::vector<Mapping>
     mappings() const
     {
@@ -80,6 +85,15 @@ struct Frame
 /**
  * The host frame table: allocation, refcounting, reverse mappings, and
  * clock-based victim selection.
+ *
+ * Concurrency: the table is single-writer. The const read-side
+ * accessors — writeGen(), prefetchWriteGen(), ksmStableEpoch(),
+ * frame() const, isAllocated() — are safe to call from multiple
+ * threads *while no mutator runs*, which is the regime the parallel
+ * KSM classify phase and the forensics walk operate in: they fan
+ * read-only work out, join, and only then mutate from one thread.
+ * There is no internal synchronization; overlapping a mutator with
+ * concurrent readers is a data race.
  */
 class FrameTable
 {

@@ -1,5 +1,6 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
 #include <memory>
 
 #include "base/logging.hh"
@@ -11,7 +12,8 @@ void
 EventQueue::scheduleAt(Tick when, EventFn fn)
 {
     jtps_assert(when >= now_);
-    events_.emplace(std::make_pair(when, next_seq_++), std::move(fn));
+    heap_.push_back(Item{when, next_seq_++, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
 }
 
 void
@@ -38,31 +40,33 @@ EventQueue::schedulePeriodic(Tick period, std::function<bool()> fn)
 std::size_t
 EventQueue::pending() const
 {
-    return events_.size();
+    return heap_.size();
 }
 
 void
 EventQueue::runOne()
 {
-    auto it = events_.begin();
-    jtps_assert(it->first.first >= now_);
-    now_ = it->first.first;
-    EventFn fn = std::move(it->second);
-    events_.erase(it);
-    fn();
+    jtps_assert(heap_.front().when >= now_);
+    // Detach the event before running it: the callback may schedule
+    // (growing the heap) or clear() it.
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    now_ = item.when;
+    item.fn();
 }
 
 void
 EventQueue::run()
 {
-    while (!events_.empty())
+    while (!heap_.empty())
         runOne();
 }
 
 void
 EventQueue::runUntil(Tick until)
 {
-    while (!events_.empty() && events_.begin()->first.first <= until)
+    while (!heap_.empty() && heap_.front().when <= until)
         runOne();
     if (now_ < until)
         now_ = until;
@@ -71,7 +75,7 @@ EventQueue::runUntil(Tick until)
 void
 EventQueue::clear()
 {
-    events_.clear();
+    heap_.clear();
 }
 
 } // namespace jtps::sim

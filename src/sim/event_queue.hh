@@ -14,7 +14,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <vector>
 
 #include "base/types.hh"
@@ -63,12 +62,36 @@ class EventQueue
     void clear();
 
   private:
+    /** One pending event. Ordered by (when, seq): the insertion
+     *  sequence breaks same-tick ties, so FIFO order within a tick is
+     *  preserved exactly as the old ordered-map key did. */
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    /** Heap predicate: @p a fires after @p b (min-heap via the
+     *  standard max-heap algorithms). */
+    static bool
+    later(const Item &a, const Item &b)
+    {
+        return a.when != b.when ? a.when > b.when : a.seq > b.seq;
+    }
+
     void runOne();
 
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
-    // Key: (tick, insertion sequence) for deterministic same-tick order.
-    std::map<std::pair<Tick, std::uint64_t>, EventFn> events_;
+    /**
+     * Binary min-heap on (when, seq). A simulated run is almost pure
+     * push/pop-min churn (every periodic component reschedules itself
+     * each wake), which the flat array serves without the per-node
+     * allocation and pointer chasing of the former std::map — see
+     * BM_EventQueueChurn.
+     */
+    std::vector<Item> heap_;
 };
 
 } // namespace jtps::sim

@@ -12,7 +12,12 @@
  *  - owner-oriented attribution conserves resident bytes.
  */
 
+#include <algorithm>
+#include <cstdlib>
 #include <map>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -400,6 +405,8 @@ struct TwinStacks
 
     StatSet inc_stats;
     StatSet ref_stats;
+    TraceBuffer inc_trace;
+    TraceBuffer ref_trace;
     KvmHypervisor inc_hv;
     KvmHypervisor ref_hv;
     KsmScanner inc_scanner;
@@ -424,10 +431,25 @@ struct TwinStacks
     }
 
     explicit TwinStacks(Bytes ram)
-        : inc_hv(hostCfg(ram), inc_stats), ref_hv(hostCfg(ram), ref_stats),
-          inc_scanner(inc_hv, ksmCfg(true), inc_stats),
-          ref_scanner(ref_hv, ksmCfg(false), ref_stats)
+        : TwinStacks(ram, ksmCfg(true), ksmCfg(false))
     {
+    }
+
+    /** Generalized twins: any two scanner configurations expected to
+     *  behave byte-identically (e.g. parallel vs. serial scan). */
+    TwinStacks(Bytes ram, const KsmConfig &inc_cfg,
+               const KsmConfig &ref_cfg)
+        : inc_hv(hostCfg(ram), inc_stats), ref_hv(hostCfg(ram), ref_stats),
+          inc_scanner(inc_hv, inc_cfg, inc_stats),
+          ref_scanner(ref_hv, ref_cfg, ref_stats)
+    {
+        // Record both stacks' trace streams: merges, promotions, scan
+        // boundaries, COW breaks and swap traffic must line up event
+        // for event, not just in the totals.
+        inc_trace.enable();
+        ref_trace.enable();
+        inc_hv.setTrace(&inc_trace);
+        ref_hv.setTrace(&ref_trace);
         for (int v = 0; v < numVms; ++v) {
             inc_hv.createVm("vm" + std::to_string(v),
                             pagesPerVm * pageSize, 0);
@@ -467,14 +489,53 @@ struct TwinStacks
                 ASSERT_EQ(pi == nullptr, pr == nullptr)
                     << "seed=" << seed << " step=" << step << " vm=" << v
                     << " gfn=" << g;
-                if (pi != nullptr)
+                if (pi != nullptr) {
                     ASSERT_EQ(*pi, *pr)
                         << "seed=" << seed << " step=" << step
                         << " vm=" << v << " gfn=" << g;
+                }
             }
         }
         inc_hv.checkConsistency();
         ref_hv.checkConsistency();
+
+        // The trace streams must be identical event by event (ticks
+        // are all zero here — no clock is wired — so this compares
+        // type, subject and both payload arguments in record order).
+        const auto &ei = inc_trace.events();
+        const auto &er = ref_trace.events();
+        ASSERT_EQ(ei.size(), er.size())
+            << "trace length, seed=" << seed << " step=" << step;
+        for (std::size_t i = 0; i < ei.size(); ++i) {
+            ASSERT_TRUE(ei[i].type == er[i].type && ei[i].vm == er[i].vm &&
+                        ei[i].arg0 == er[i].arg0 &&
+                        ei[i].arg1 == er[i].arg1)
+                << "trace event " << i << " differs, seed=" << seed
+                << " step=" << step;
+        }
+    }
+
+    /**
+     * Full stat-registry equality, minus @p exempt counters. Both
+     * scanners register every counter up front, so the key sets
+     * always agree; this catches divergence in counters outside the
+     * reference-maintained list too.
+     */
+    void
+    expectRegistriesEqual(const std::vector<std::string> &exempt,
+                          std::uint64_t seed)
+    {
+        auto a = inc_stats.counters();
+        auto b = ref_stats.counters();
+        ASSERT_EQ(a.size(), b.size()) << "seed=" << seed;
+        for (const auto &[name, value] : a) {
+            if (std::find(exempt.begin(), exempt.end(), name) !=
+                exempt.end())
+                continue;
+            auto it = b.find(name);
+            ASSERT_TRUE(it != b.end()) << name << " seed=" << seed;
+            EXPECT_EQ(value, it->second) << name << " seed=" << seed;
+        }
     }
 };
 
@@ -512,8 +573,9 @@ driveTwins(TwinStacks &t, std::uint64_t seed, int steps)
             t.ref_hv.setHugePage(vm, gfn, huge);
         }
 
-        if (step % 250 == 249)
+        if (step % 250 == 249) {
             ASSERT_NO_FATAL_FAILURE(t.expectEqual(seed, step));
+        }
     }
     ASSERT_NO_FATAL_FAILURE(t.expectEqual(seed, steps));
 
@@ -569,3 +631,143 @@ TEST_P(IncrementalEquivalencePagingFuzz, MatchesReferenceUnderHostPaging)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, IncrementalEquivalencePagingFuzz,
                          ::testing::Values(17, 33, 65, 129, 257));
+
+namespace
+{
+
+/** Scanner config for the parallel twin tests: incremental scanning at
+ *  @p threads classify workers, with shards shrunk so even these tiny
+ *  memories (3 VMs x 48 pages) fan out across several shards. */
+KsmConfig
+parallelKsmCfg(unsigned threads)
+{
+    KsmConfig c;
+    c.pagesToScan = 500;
+    c.incrementalScan = true;
+    c.scanThreads = threads;
+    c.scanShardPages = 16;
+    return c;
+}
+
+/**
+ * Thread counts to fuzz: {1, 2, 4}, plus JTPS_BENCH_THREADS when CI
+ * sets it (the same env knob the bench sweeps honor), so the
+ * determinism tests exercise whatever parallelism the host offers.
+ */
+std::vector<unsigned>
+parallelThreadCounts()
+{
+    std::vector<unsigned> t{1, 2, 4};
+    if (const char *env = std::getenv("JTPS_BENCH_THREADS")) {
+        const unsigned n =
+            static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+        if (n >= 1 && n <= 64 &&
+            std::find(t.begin(), t.end(), n) == t.end())
+            t.push_back(n);
+    }
+    return t;
+}
+
+/** The three counters only the two-phase (parallel) scan path moves;
+ *  identically zero in any serial scanner. */
+const std::vector<std::string> parallelOnlyCounters = {
+    "ksm.scan_shards",
+    "ksm.precheck_candidates",
+    "ksm.commit_replays",
+};
+
+class ParallelScanEquivalenceFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+} // namespace
+
+TEST_P(ParallelScanEquivalenceFuzz, MatchesSerialScanner)
+{
+    const std::uint64_t seed = std::get<0>(GetParam());
+    const unsigned threads = std::get<1>(GetParam());
+    // inc side: parallel classify/commit scan; ref side: the serial
+    // incremental scanner it must be byte-identical to.
+    TwinStacks t(2 * MiB, parallelKsmCfg(threads),
+                 TwinStacks::ksmCfg(true));
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2500));
+    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(parallelOnlyCounters,
+                                                    seed));
+    for (const auto &c : parallelOnlyCounters)
+        EXPECT_EQ(t.ref_stats.get(c), 0u) << c;
+    if (threads >= 2) {
+        // Not vacuous: batches really were sharded out, and the
+        // classify phase really fed the commit replay.
+        EXPECT_GT(t.inc_stats.get("ksm.scan_shards"), 0u);
+        EXPECT_GT(t.inc_stats.get("ksm.precheck_candidates"), 0u);
+    } else {
+        // scanThreads <= 1 must take the serial path bit for bit.
+        for (const auto &c : parallelOnlyCounters)
+            EXPECT_EQ(t.inc_stats.get(c), 0u) << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, ParallelScanEquivalenceFuzz,
+    ::testing::Combine(::testing::Values(6, 256, 8128),
+                       ::testing::ValuesIn(parallelThreadCounts())));
+
+namespace
+{
+
+class ParallelScanPagingFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+} // namespace
+
+TEST_P(ParallelScanPagingFuzz, MatchesSerialUnderHostPaging)
+{
+    const std::uint64_t seed = std::get<0>(GetParam());
+    const unsigned threads = std::get<1>(GetParam());
+    // Host RAM below the guests' combined footprint: evictions
+    // constantly retire and reincarnate frames between batches, the
+    // regime where a stale classify verdict would be most tempting to
+    // trust — the write-generation proof has to reject every one.
+    TwinStacks t(100 * pageSize, parallelKsmCfg(threads),
+                 TwinStacks::ksmCfg(true));
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2000));
+    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(parallelOnlyCounters,
+                                                    seed));
+    if (threads >= 2) {
+        EXPECT_GT(t.inc_stats.get("ksm.scan_shards"), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, ParallelScanPagingFuzz,
+    ::testing::Combine(::testing::Values(17, 129),
+                       ::testing::ValuesIn(parallelThreadCounts())));
+
+namespace
+{
+
+class ParallelScanThreadInvarianceFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(ParallelScanThreadInvarianceFuzz, TwoAndFourThreadsFullyIdentical)
+{
+    const std::uint64_t seed = GetParam();
+    // Both sides take the two-phase path, at different widths. Here
+    // nothing at all may differ — including the shard/candidate/replay
+    // counters, whose values depend only on the (fixed) shard size and
+    // the classified state, never on the thread count.
+    TwinStacks t(2 * MiB, parallelKsmCfg(2), parallelKsmCfg(4));
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2500));
+    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual({}, seed));
+    EXPECT_GT(t.inc_stats.get("ksm.scan_shards"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelScanThreadInvarianceFuzz,
+                         ::testing::Values(11, 77, 505));

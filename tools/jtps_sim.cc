@@ -51,6 +51,7 @@ struct Options
     std::string jsonFile;
     std::string traceFile;
     unsigned analysisThreads = 1;
+    unsigned ksmThreads = 1;
 };
 
 const char *const knownReports[] = {"breakdown", "java",       "sources",
@@ -82,7 +83,9 @@ usage(const char *argv0)
         "  --json FILE     write the full run document as JSON\n"
         "  --trace FILE    record a structured event trace, write JSON\n"
         "  --analysis-threads N  shard the forensics walk/accounting\n"
-        "                  across N threads (same bytes at any N)\n",
+        "                  across N threads (same bytes at any N)\n"
+        "  --ksm-threads N  classify KSM scan batches on N threads\n"
+        "                  (merges/counters identical at any N)\n",
         argv0);
     std::exit(2);
 }
@@ -134,6 +137,9 @@ parse(int argc, char **argv)
             opt.traceFile = need(i);
         else if (arg == "--analysis-threads")
             opt.analysisThreads =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (arg == "--ksm-threads")
+            opt.ksmThreads =
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
         else
             usage(argv[0]);
@@ -285,6 +291,7 @@ main(int argc, char **argv)
     cfg.seed = opt.seed;
     cfg.analysisThreads =
         opt.analysisThreads == 0 ? 1 : opt.analysisThreads;
+    cfg.ksmScanThreads = opt.ksmThreads == 0 ? 1 : opt.ksmThreads;
 
     std::vector<workload::WorkloadSpec> vms(
         static_cast<std::size_t>(opt.vms), pickWorkload(opt));
