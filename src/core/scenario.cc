@@ -23,6 +23,14 @@ Scenario::build()
     built_ = true;
 
     hv_ = std::make_unique<hv::KvmHypervisor>(cfg_.host, stats_);
+    // Staged guest execution: register the counters at zero (so every
+    // registry carries them regardless of mode) and size the queue's
+    // stage pool. guestThreads == 0 keeps the legacy direct epoch
+    // path; the counters then stay 0.
+    guest_shards_ = &stats_.counter("sim.guest_shards");
+    intent_commits_ = &stats_.counter("sim.intent_commits");
+    stage_fallbacks_ = &stats_.counter("sim.stage_fallbacks");
+    queue_.setStageThreads(cfg_.guestThreads);
     // Wire (but do not enable) tracing: the hypervisor fans the sink
     // out to the swap device, and the scanner/guests reach it through
     // hv().trace(). Events are stamped with simulated time.
@@ -140,16 +148,74 @@ Scenario::scheduleEpochs()
     if (epochs_scheduled_)
         return;
     epochs_scheduled_ = true;
+
+    if (cfg_.guestThreads == 0) {
+        // Legacy direct execution: one serial event runs every VM's
+        // epoch straight through the hypervisor. Reference mode for
+        // the staged-equivalence fuzzes.
+        queue_.schedulePeriodic(cfg_.epochMs, [this]() {
+            disk_.beginEpoch(cfg_.epochMs);
+            std::vector<workload::ClientDriver::EpochResult> results;
+            results.reserve(drivers_.size());
+            for (auto &driver : drivers_)
+                results.push_back(driver->runEpoch(cfg_.epochMs));
+            disk_.endEpoch();
+            epoch_history_.push_back(std::move(results));
+            return true;
+        });
+        return;
+    }
+
+    // Staged layout: an unowned begin event, one owned stage/commit
+    // event per VM, and an unowned end event. All are scheduled (and
+    // self-rescheduled) in this order within each epoch drain, so
+    // their sequence numbers stay consecutive: any other periodic
+    // event (KSM scan, monitor samples) that lands on the same tick
+    // sorts entirely before or after the epoch block, exactly as it
+    // did relative to the legacy single event.
     queue_.schedulePeriodic(cfg_.epochMs, [this]() {
         disk_.beginEpoch(cfg_.epochMs);
-        std::vector<workload::ClientDriver::EpochResult> results;
-        results.reserve(drivers_.size());
-        for (auto &driver : drivers_)
-            results.push_back(driver->runEpoch(cfg_.epochMs));
-        disk_.endEpoch();
-        epoch_history_.push_back(std::move(results));
+        epoch_current_.assign(drivers_.size(), {});
         return true;
     });
+    intent_logs_.resize(drivers_.size());
+    for (std::size_t i = 0; i < drivers_.size(); ++i)
+        scheduleStagedVm(i);
+    queue_.schedulePeriodic(cfg_.epochMs, [this]() {
+        disk_.endEpoch();
+        epoch_history_.push_back(epoch_current_);
+        return true;
+    });
+}
+
+void
+Scenario::scheduleStagedVm(std::size_t i)
+{
+    queue_.scheduleOwnedAt(
+        queue_.now() + cfg_.epochMs, i,
+        /*stage=*/
+        [this, i]() {
+            return drivers_[i]->stageEpoch(cfg_.epochMs,
+                                           intent_logs_[i]);
+        },
+        /*commit=*/
+        [this, i](bool staged) {
+            if (staged) {
+                ++*guest_shards_;
+                *intent_commits_ += intent_logs_[i].size();
+                epoch_current_[i] =
+                    drivers_[i]->commitEpoch(cfg_.epochMs,
+                                             intent_logs_[i]);
+                intent_logs_[i].clear();
+            } else {
+                // Not stageable this tick (guest too close to
+                // internal reclaim): run directly, still at this
+                // VM's canonical slot in the commit order.
+                ++*stage_fallbacks_;
+                epoch_current_[i] = drivers_[i]->runEpoch(cfg_.epochMs);
+            }
+            scheduleStagedVm(i);
+        });
 }
 
 void

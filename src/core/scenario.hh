@@ -38,6 +38,7 @@
 #include "base/trace.hh"
 #include "guest/guest_os.hh"
 #include "hv/hypervisor.hh"
+#include "hv/intent_log.hh"
 #include "jvm/java_vm.hh"
 #include "jvm/shared_class_cache.hh"
 #include "ksm/ksm_scanner.hh"
@@ -113,6 +114,19 @@ struct ScenarioConfig
      * fully serial.
      */
     unsigned ksmScanThreads = 1;
+
+    /**
+     * Worker threads for the guest-mutator stage phase: each epoch
+     * tick, the per-VM driver work stages concurrently (guest-local
+     * state + a write-intent log per VM) and all hypervisor effects
+     * replay serially in VM-id order, so counters, traces and frame
+     * state are byte-identical at any value >= 1. 1 stages inline
+     * (serial, same stage/commit split). 0 bypasses staging entirely
+     * and runs the legacy direct path — the reference mode the
+     * equivalence fuzzes compare against; the `sim.*` staging
+     * counters stay 0 there.
+     */
+    unsigned guestThreads = 1;
 };
 
 /**
@@ -211,6 +225,7 @@ class Scenario
 
   private:
     void scheduleEpochs();
+    void scheduleStagedVm(std::size_t i);
 
     ScenarioConfig cfg_;
     std::vector<workload::WorkloadSpec> specs_;
@@ -236,6 +251,14 @@ class Scenario
     /** Per-epoch per-VM results, appended as epochs run. */
     std::vector<std::vector<workload::ClientDriver::EpochResult>>
         epoch_history_;
+    /** Results of the epoch currently draining (staged layout). */
+    std::vector<workload::ClientDriver::EpochResult> epoch_current_;
+    /** One write-intent log per VM, reused across epochs. */
+    std::vector<hv::WriteIntentLog> intent_logs_;
+    /** Staging counters (registered at build, bumped in commits). */
+    std::uint64_t *guest_shards_ = nullptr;
+    std::uint64_t *intent_commits_ = nullptr;
+    std::uint64_t *stage_fallbacks_ = nullptr;
     bool built_ = false;
     bool epochs_scheduled_ = false;
 };

@@ -1,0 +1,92 @@
+#include "hv/intent_log.hh"
+
+#include "base/logging.hh"
+#include "hv/hypervisor.hh"
+
+namespace jtps::hv
+{
+
+void
+WriteIntentLog::writeWord(Gfn gfn, unsigned sector, std::uint64_t value)
+{
+    intents_.push_back(
+        Intent{Kind::WriteWord, sector, gfn, value});
+}
+
+void
+WriteIntentLog::writePage(Gfn gfn, const mem::PageData &data)
+{
+    const std::uint32_t index =
+        static_cast<std::uint32_t>(pages_.size());
+    pages_.push_back(data);
+    intents_.push_back(Intent{Kind::WritePage, index, gfn, 0});
+}
+
+void
+WriteIntentLog::touchPage(Gfn gfn)
+{
+    intents_.push_back(Intent{Kind::TouchPage, 0, gfn, 0});
+}
+
+void
+WriteIntentLog::discardPage(Gfn gfn)
+{
+    intents_.push_back(Intent{Kind::DiscardPage, 0, gfn, 0});
+}
+
+void
+WriteIntentLog::setHugePage(Gfn gfn, bool huge)
+{
+    intents_.push_back(
+        Intent{Kind::SetHugePage, huge ? 1u : 0u, gfn, 0});
+}
+
+void
+WriteIntentLog::trace(TraceEventType type, std::uint64_t arg0,
+                      std::uint64_t arg1)
+{
+    intents_.push_back(Intent{
+        Kind::Trace, static_cast<std::uint32_t>(type), arg0, arg1});
+}
+
+void
+WriteIntentLog::clear()
+{
+    intents_.clear();
+    pages_.clear();
+}
+
+void
+WriteIntentLog::replay(Hypervisor &hv, VmId vm, std::size_t begin,
+                       std::size_t end) const
+{
+    jtps_assert(begin <= end && end <= intents_.size());
+    for (std::size_t i = begin; i < end; ++i) {
+        const Intent &in = intents_[i];
+        switch (in.kind) {
+          case Kind::WriteWord:
+            hv.writeWord(vm, in.gfn, in.a, in.b);
+            break;
+          case Kind::WritePage:
+            hv.writePage(vm, in.gfn, pages_[in.a]);
+            break;
+          case Kind::TouchPage:
+            hv.touchPage(vm, in.gfn);
+            break;
+          case Kind::DiscardPage:
+            hv.discardPage(vm, in.gfn);
+            break;
+          case Kind::SetHugePage:
+            hv.setHugePage(vm, in.gfn, in.a != 0);
+            break;
+          case Kind::Trace:
+            if (TraceBuffer *t = hv.trace()) {
+                t->record(static_cast<TraceEventType>(in.a), vm,
+                          in.gfn, in.b);
+            }
+            break;
+        }
+    }
+}
+
+} // namespace jtps::hv

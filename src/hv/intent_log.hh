@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Per-VM write-intent log for deterministic parallel guest execution.
+ *
+ * When the scenario stages guest mutator work concurrently (one VM per
+ * worker thread), guest models must not call the hypervisor's mutation
+ * API directly: CoW breaks, evictions and write-generation bumps are
+ * global host state whose order must be canonical. Instead each VM's
+ * staged work appends its host-visible effects here — one record per
+ * would-be hypervisor call — and the scenario's serial commit phase
+ * replays the logs in VM-id order through the unchanged Hypervisor
+ * API. Replay issues exactly one hypervisor call per intent (no
+ * coalescing), so counters, trace events and frame state after a
+ * staged tick are byte-identical to direct serial execution.
+ *
+ * This is the software analogue of a per-vCPU dirty record (PML): the
+ * guest runs ahead against its private state, the host consumes the
+ * ordered record later.
+ */
+
+#ifndef JTPS_HV_INTENT_LOG_HH
+#define JTPS_HV_INTENT_LOG_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/trace.hh"
+#include "base/types.hh"
+#include "mem/page_data.hh"
+
+namespace jtps::hv
+{
+
+class Hypervisor;
+
+/**
+ * Ordered record of one VM's pending host-visible effects.
+ */
+class WriteIntentLog
+{
+  public:
+    /** Append a writeWord(gfn, sector, value) intent. */
+    void writeWord(Gfn gfn, unsigned sector, std::uint64_t value);
+
+    /** Append a writePage(gfn, data) intent (payload copied). */
+    void writePage(Gfn gfn, const mem::PageData &data);
+
+    /** Append a touchPage(gfn) intent. */
+    void touchPage(Gfn gfn);
+
+    /** Append a discardPage(gfn) intent. */
+    void discardPage(Gfn gfn);
+
+    /** Append a setHugePage(gfn, huge) intent. */
+    void setHugePage(Gfn gfn, bool huge);
+
+    /**
+     * Append a guest-originated trace event (GC cycle, balloon move):
+     * replay records it into the hypervisor's trace sink at its
+     * logged position, between the surrounding memory intents.
+     */
+    void trace(TraceEventType type, std::uint64_t arg0,
+               std::uint64_t arg1);
+
+    /** Number of intents recorded so far (watermark for replay). */
+    std::size_t size() const { return intents_.size(); }
+
+    /** Drop all intents (keeps capacity for the next tick). */
+    void clear();
+
+    /**
+     * Replay intents [@p begin, @p end) for @p vm against @p hv, in
+     * log order, one hypervisor call (or trace record) per intent.
+     */
+    void replay(Hypervisor &hv, VmId vm, std::size_t begin,
+                std::size_t end) const;
+
+  private:
+    enum class Kind : std::uint8_t
+    {
+        WriteWord,
+        WritePage,
+        TouchPage,
+        DiscardPage,
+        SetHugePage,
+        Trace,
+    };
+
+    /** One intent. Field use per kind:
+     *   WriteWord:   gfn, a = sector, b = value
+     *   WritePage:   gfn, a = index into pages_
+     *   TouchPage:   gfn
+     *   DiscardPage: gfn
+     *   SetHugePage: gfn, a = huge flag
+     *   Trace:       gfn = arg0, a = TraceEventType, b = arg1 */
+    struct Intent
+    {
+        Kind kind;
+        std::uint32_t a = 0;
+        Gfn gfn = 0;
+        std::uint64_t b = 0;
+    };
+
+    std::vector<Intent> intents_;
+    /** Full-page payloads, referenced by index from WritePage intents. */
+    std::vector<mem::PageData> pages_;
+};
+
+} // namespace jtps::hv
+
+#endif // JTPS_HV_INTENT_LOG_HH

@@ -103,8 +103,7 @@ JavaHeap::globalGc()
 {
     ++gc_epoch_;
     ++global_gcs_;
-    if (TraceBuffer *t = os_.hv().trace())
-        t->record(TraceEventType::GcGlobal, os_.vmId(), pid_, gc_epoch_);
+    os_.traceRecord(TraceEventType::GcGlobal, pid_, gc_epoch_);
     clearHeadroomOnce();
 
     // Mark-sweep-compact: survivors slide to the bottom of the space at
@@ -143,8 +142,7 @@ JavaHeap::minorGc()
 {
     ++gc_epoch_;
     ++minor_gcs_;
-    if (TraceBuffer *t = os_.hv().trace())
-        t->record(TraceEventType::GcMinor, os_.vmId(), pid_, gc_epoch_);
+    os_.traceRecord(TraceEventType::GcMinor, pid_, gc_epoch_);
     clearHeadroomOnce();
 
     // Copying nursery collection: a small survivor set is copied to the

@@ -11,6 +11,10 @@ FrameTable::FrameTable(std::uint64_t capacity_frames, StatSet *stats)
     : capacity_(capacity_frames), stats_(stats)
 {
     jtps_assert(capacity_frames > 0);
+    // Register at zero so the counter appears in every registry even if
+    // the sampled-LRU fast path never misses.
+    if (stats_)
+        stats_->counter("host.victim_fallback_sweeps");
 }
 
 Hfn
@@ -26,7 +30,8 @@ FrameTable::allocRaw(const PageData &initial)
     } else {
         hfn = frames_.size();
         frames_.emplace_back();
-        allocated_.push_back(false);
+        if ((hfn >> 6) >= allocated_.size())
+            allocated_.push_back(0);
         write_gens_.push_back(0);
     }
 
@@ -43,7 +48,7 @@ FrameTable::allocRaw(const PageData &initial)
     f.pinned = false;
     f.primary = Mapping{};
     f.extra.clear();
-    allocated_[hfn] = true;
+    setAllocBit(hfn);
     ++resident_;
     if (stats_)
         stats_->inc("host.frames_allocated");
@@ -55,7 +60,7 @@ FrameTable::freeRaw(Hfn hfn)
 {
     jtps_assert(isAllocated(hfn));
     jtps_assert(frames_[hfn].refcount == 0);
-    allocated_[hfn] = false;
+    clearAllocBit(hfn);
     if (frames_[hfn].ksmStable) {
         // All mappings are already gone (refcount 0), so the frame's
         // sharing contribution was removed mapping by mapping; only
@@ -198,7 +203,7 @@ FrameTable::pickVictim(bool allow_shared)
     Hfn best = invalidFrame;
     for (int i = 0; i < sample_size; ++i) {
         const Hfn h = victim_rng_.nextBelow(frames_.size());
-        if (!allocated_[h])
+        if (!allocBit(h))
             continue;
         const Frame &f = frames_[h];
         if (f.pinned)
@@ -214,10 +219,14 @@ FrameTable::pickVictim(bool allow_shared)
         return best;
 
     // Fallback sweep: the sample can miss when few frames are eligible.
+    // Counted so overcommit experiments can see when reclaim degrades
+    // from O(1) sampling to O(n) sweeps.
+    if (stats_)
+        stats_->inc("host.victim_fallback_sweeps");
     for (std::uint64_t step = 0; step < frames_.size(); ++step) {
         const Hfn h = clock_hand_;
         clock_hand_ = (clock_hand_ + 1) % frames_.size();
-        if (!allocated_[h])
+        if (!allocBit(h))
             continue;
         const Frame &f = frames_[h];
         if (f.pinned)
@@ -236,7 +245,7 @@ FrameTable::checkConsistency() const
     std::uint64_t stable_count = 0;
     std::uint64_t sharing_count = 0;
     for (Hfn h = 0; h < frames_.size(); ++h) {
-        if (!allocated_[h]) {
+        if (!allocBit(h)) {
             continue;
         }
         ++resident_count;

@@ -236,7 +236,7 @@ class FrameTable
     bool
     isAllocated(Hfn hfn) const
     {
-        return hfn < frames_.size() && allocated_[hfn];
+        return hfn < frames_.size() && allocBit(hfn);
     }
 
     /** Mark the frame recently used (clock second chance). */
@@ -263,14 +263,26 @@ class FrameTable
     /** Frames still available without eviction. */
     std::uint64_t freeFrames() const { return capacity_ - resident_; }
 
-    /** Call @p fn(hfn, frame) for every allocated frame. */
+    /**
+     * Call @p fn(hfn, frame) for every allocated frame. Word-scans the
+     * allocation bitmap, so sparse tables (a few resident frames in a
+     * large capacity) cost one 64-bit test per 64 empty slots instead
+     * of one branch per slot.
+     */
     template <typename Fn>
     void
     forEachResident(Fn &&fn) const
     {
-        for (Hfn h = 0; h < frames_.size(); ++h)
-            if (allocated_[h])
+        for (std::size_t w = 0; w < allocated_.size(); ++w) {
+            std::uint64_t bits = allocated_[w];
+            while (bits != 0) {
+                const int bit = __builtin_ctzll(bits);
+                bits &= bits - 1;
+                const Hfn h =
+                    (static_cast<Hfn>(w) << 6) | static_cast<Hfn>(bit);
                 fn(h, frames_[h]);
+            }
+        }
     }
 
     /**
@@ -283,6 +295,25 @@ class FrameTable
   private:
     Hfn allocRaw(const PageData &initial);
     void freeRaw(Hfn hfn);
+
+    /** Test @p hfn's allocation bit (hfn < frames_.size() required). */
+    bool
+    allocBit(Hfn hfn) const
+    {
+        return (allocated_[hfn >> 6] >> (hfn & 63)) & 1;
+    }
+
+    void
+    setAllocBit(Hfn hfn)
+    {
+        allocated_[hfn >> 6] |= std::uint64_t{1} << (hfn & 63);
+    }
+
+    void
+    clearAllocBit(Hfn hfn)
+    {
+        allocated_[hfn >> 6] &= ~(std::uint64_t{1} << (hfn & 63));
+    }
 
     std::uint64_t capacity_;
     std::uint64_t resident_ = 0;
@@ -297,7 +328,9 @@ class FrameTable
     std::vector<Frame> frames_;
     /** Per-frame write generations, parallel to frames_. */
     std::vector<std::uint64_t> write_gens_;
-    std::vector<bool> allocated_;
+    /** Allocation bitmap, 64 frames per word (bit i of word w covers
+     *  hfn 64w + i) so forEachResident() can skip empty runs wordwise. */
+    std::vector<std::uint64_t> allocated_;
     std::vector<Hfn> free_list_;
     std::uint64_t clock_hand_ = 0;   //!< fallback sweep position
     std::uint64_t access_clock_ = 0; //!< logical time for LRU ages

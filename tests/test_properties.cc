@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "analysis/forensics.hh"
 #include "base/rng.hh"
 #include "base/stats.hh"
+#include "core/scenario.hh"
 #include "guest/guest_os.hh"
 #include "hv/hypervisor.hh"
 #include "ksm/ksm_scanner.hh"
@@ -771,3 +773,202 @@ TEST_P(ParallelScanThreadInvarianceFuzz, TwoAndFourThreadsFullyIdentical)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelScanThreadInvarianceFuzz,
                          ::testing::Values(11, 77, 505));
+
+namespace
+{
+
+/** The three counters only the staged guest-execution path moves;
+ *  identically zero under direct (guestThreads == 0) execution. */
+const std::vector<std::string> guestOnlyCounters = {
+    "sim.guest_shards",
+    "sim.intent_commits",
+    "sim.stage_fallbacks",
+};
+
+core::ScenarioConfig
+guestExecCfg(unsigned guest_threads, std::uint64_t seed, Bytes host_ram)
+{
+    core::ScenarioConfig cfg;
+    cfg.enableClassSharing = true;
+    cfg.warmupMs = 4'000;
+    cfg.steadyMs = 6'000;
+    cfg.host.ramBytes = host_ram;
+    cfg.seed = seed;
+    cfg.guestThreads = guest_threads;
+    return cfg;
+}
+
+/**
+ * Build and run a small 3-VM scenario at the given stage width. When
+ * @p leave_free_pages is nonzero, each guest's balloon is inflated
+ * after boot until only that many guest frames stay free — driving the
+ * guests inside the stageability bound so their epochs must fall back
+ * to direct execution.
+ */
+std::unique_ptr<core::Scenario>
+runGuestScenario(unsigned guest_threads, std::uint64_t seed,
+                 Bytes host_ram, std::uint64_t leave_free_pages = 0)
+{
+    auto s = std::make_unique<core::Scenario>(
+        guestExecCfg(guest_threads, seed, host_ram),
+        std::vector<workload::WorkloadSpec>(
+            3, workload::tuscanyBigbank()));
+    s->build();
+    s->trace().enable();
+    if (leave_free_pages > 0) {
+        for (std::size_t v = 0; v < s->vmCount(); ++v) {
+            auto &os = s->guest(v);
+            const std::uint64_t used =
+                os.balloonHeldPages() + os.gfnsAllocated();
+            const std::uint64_t free =
+                os.guestPages() > used ? os.guestPages() - used : 0;
+            if (free > leave_free_pages)
+                os.balloonTake(free - leave_free_pages);
+        }
+    }
+    s->run();
+    s->hv().checkConsistency();
+    return s;
+}
+
+/**
+ * Byte-for-byte equality of two completed runs: the full stat registry
+ * (minus @p exempt), the whole trace stream including timestamps, the
+ * EPT translations and page contents, and the per-epoch results.
+ */
+void
+expectRunsEqual(core::Scenario &a, core::Scenario &b,
+                const std::vector<std::string> &exempt)
+{
+    auto ca = a.stats().counters();
+    auto cb = b.stats().counters();
+    ASSERT_EQ(ca.size(), cb.size());
+    for (const auto &[name, value] : ca) {
+        if (std::find(exempt.begin(), exempt.end(), name) !=
+            exempt.end())
+            continue;
+        auto it = cb.find(name);
+        ASSERT_TRUE(it != cb.end()) << name;
+        EXPECT_EQ(value, it->second) << name;
+    }
+
+    const auto &ea = a.trace().events();
+    const auto &eb = b.trace().events();
+    ASSERT_EQ(ea.size(), eb.size()) << "trace length";
+    for (std::size_t i = 0; i < ea.size(); ++i) {
+        ASSERT_TRUE(ea[i].tick == eb[i].tick &&
+                    ea[i].type == eb[i].type && ea[i].vm == eb[i].vm &&
+                    ea[i].arg0 == eb[i].arg0 && ea[i].arg1 == eb[i].arg1)
+            << "trace event " << i;
+    }
+
+    ASSERT_EQ(a.vmCount(), b.vmCount());
+    ASSERT_EQ(a.hv().residentBytes(), b.hv().residentBytes());
+    for (std::size_t v = 0; v < a.vmCount(); ++v) {
+        const std::uint64_t pages = a.guest(v).guestPages();
+        ASSERT_EQ(pages, b.guest(v).guestPages());
+        // Stride-sample the guest address spaces (a prime stride so
+        // every region alignment gets coverage).
+        for (Gfn g = 0; g < pages; g += 7) {
+            ASSERT_EQ(a.hv().translate(v, g), b.hv().translate(v, g))
+                << "vm=" << v << " gfn=" << g;
+            const PageData *pa = a.hv().peek(v, g);
+            const PageData *pb = b.hv().peek(v, g);
+            ASSERT_EQ(pa == nullptr, pb == nullptr)
+                << "vm=" << v << " gfn=" << g;
+            if (pa != nullptr) {
+                ASSERT_EQ(*pa, *pb) << "vm=" << v << " gfn=" << g;
+            }
+        }
+    }
+
+    // The epoch histories feed these; exact equality because both
+    // modes perform the identical arithmetic in the identical order.
+    EXPECT_EQ(a.aggregateThroughput(100), b.aggregateThroughput(100));
+    EXPECT_EQ(a.perVmThroughput(100), b.perVmThroughput(100));
+    EXPECT_EQ(a.perVmResponseMs(100), b.perVmResponseMs(100));
+}
+
+class GuestExecEquivalenceFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST_P(GuestExecEquivalenceFuzz, StagedMatchesDirectExecution)
+{
+    const unsigned threads = GetParam();
+    // Reference: legacy direct execution. Staged side: stage/commit
+    // epochs at the parameterized width. Everything observable must be
+    // identical except the three staging counters.
+    auto ref = runGuestScenario(0, 42, 6ULL * GiB);
+    auto staged = runGuestScenario(threads, 42, 6ULL * GiB);
+    ASSERT_NO_FATAL_FAILURE(
+        expectRunsEqual(*staged, *ref, guestOnlyCounters));
+    for (const auto &c : guestOnlyCounters)
+        EXPECT_EQ(ref->stats().get(c), 0u) << c;
+    // Not vacuous: with ample guest headroom every epoch stages.
+    EXPECT_GT(staged->stats().get("sim.guest_shards"), 0u);
+    EXPECT_GT(staged->stats().get("sim.intent_commits"), 0u);
+    EXPECT_EQ(staged->stats().get("sim.stage_fallbacks"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GuestExecEquivalenceFuzz,
+                         ::testing::ValuesIn(parallelThreadCounts()));
+
+namespace
+{
+
+class GuestExecThreadInvarianceFuzz
+    : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST_P(GuestExecThreadInvarianceFuzz, WidthsFullyIdentical)
+{
+    const unsigned threads = GetParam();
+    // Both sides take the staged path, at different widths. Nothing at
+    // all may differ — the staging counters included, since stage
+    // verdicts and intent counts depend only on the simulated state.
+    auto one = runGuestScenario(1, 9, 6ULL * GiB);
+    auto wide = runGuestScenario(threads, 9, 6ULL * GiB);
+    ASSERT_NO_FATAL_FAILURE(expectRunsEqual(*wide, *one, {}));
+    EXPECT_GT(wide->stats().get("sim.guest_shards"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GuestExecThreadInvarianceFuzz,
+                         ::testing::Values(2, 4));
+
+namespace
+{
+
+class GuestExecFallbackFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST_P(GuestExecFallbackFuzz, BalloonedAndPagedHostMatchesDirect)
+{
+    const unsigned threads = GetParam();
+    // Host RAM below the guests' combined footprint (evictions and
+    // swap-ins on the commit path) and balloons inflated until only
+    // ~4 MiB of guest memory stays free: every epoch's worst-case
+    // demand bound exceeds that, so staging must decline and fall
+    // back to serial direct execution — and still match it exactly.
+    auto ref = runGuestScenario(0, 5, 640ULL * MiB, 1024);
+    auto staged = runGuestScenario(threads, 5, 640ULL * MiB, 1024);
+    ASSERT_NO_FATAL_FAILURE(
+        expectRunsEqual(*staged, *ref, guestOnlyCounters));
+    EXPECT_GT(staged->stats().get("sim.stage_fallbacks"), 0u);
+    EXPECT_EQ(ref->stats().get("sim.stage_fallbacks"), 0u);
+    // The squeeze has to have actually engaged both pressure paths.
+    EXPECT_GT(staged->hv().majorFaults(0) + staged->hv().majorFaults(1) +
+                  staged->hv().majorFaults(2),
+              0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GuestExecFallbackFuzz,
+                         ::testing::Values(1, 4));

@@ -52,6 +52,7 @@ struct Options
     std::string traceFile;
     unsigned analysisThreads = 1;
     unsigned ksmThreads = 1;
+    unsigned guestThreads = 1;
 };
 
 const char *const knownReports[] = {"breakdown", "java",       "sources",
@@ -85,7 +86,9 @@ usage(const char *argv0)
         "  --analysis-threads N  shard the forensics walk/accounting\n"
         "                  across N threads (same bytes at any N)\n"
         "  --ksm-threads N  classify KSM scan batches on N threads\n"
-        "                  (merges/counters identical at any N)\n",
+        "                  (merges/counters identical at any N)\n"
+        "  --guest-threads N  stage guest-mutator epochs on N threads\n"
+        "                  (counters/traces identical at any N)\n",
         argv0);
     std::exit(2);
 }
@@ -140,6 +143,9 @@ parse(int argc, char **argv)
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
         else if (arg == "--ksm-threads")
             opt.ksmThreads =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (arg == "--guest-threads")
+            opt.guestThreads =
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
         else
             usage(argv[0]);
@@ -292,6 +298,7 @@ main(int argc, char **argv)
     cfg.analysisThreads =
         opt.analysisThreads == 0 ? 1 : opt.analysisThreads;
     cfg.ksmScanThreads = opt.ksmThreads == 0 ? 1 : opt.ksmThreads;
+    cfg.guestThreads = opt.guestThreads == 0 ? 1 : opt.guestThreads;
 
     std::vector<workload::WorkloadSpec> vms(
         static_cast<std::size_t>(opt.vms), pickWorkload(opt));
