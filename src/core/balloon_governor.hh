@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Adaptive balloon governor driven by PML working-set estimates.
+ *
+ * The paper (§VI) notes KVM ships no balloon policy manager — "we
+ * cannot use ballooning unless we install a separate manager" — so
+ * its ballooning comparison uses fixed, hand-picked balloon sizes.
+ * This is that missing manager: every interval it reads each guest's
+ * estimated write working set (analysis::WssEstimator, fed by the
+ * hypervisor's PML rings) and resizes the guest's balloon toward
+ *
+ *     target = guestPages - wssPages - slackPages - extraSlack
+ *
+ * so a guest keeps its working set plus a slack margin and donates
+ * the rest. The dirty log underestimates guests whose working set is
+ * read-mostly (page cache), so a refault feedback term protects
+ * them: a guest refaulting past refaultTolerance per interval grows
+ * its extraSlack multiplicatively, and the slack decays additively
+ * once the refaults stop. Inflation goes through
+ * guest::GuestOs::balloonTake —
+ * the guest reclaims clean page cache first, exactly the "guest
+ * knows its own pages" advantage ballooning has over host paging —
+ * and may saturate early, in which case the governor simply retries
+ * at the next interval with a fresh estimate.
+ *
+ * Follows the ksm::KsmTuned daemon shape: a config struct, a step()
+ * control loop, attach() for periodic operation.
+ */
+
+#ifndef JTPS_CORE_BALLOON_GOVERNOR_HH
+#define JTPS_CORE_BALLOON_GOVERNOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/wss_estimator.hh"
+#include "base/stats.hh"
+#include "guest/guest_os.hh"
+#include "sim/event_queue.hh"
+
+namespace jtps::core
+{
+
+/** Governor tuning. */
+struct BalloonGovernorConfig
+{
+    /** Control-loop period (simulated milliseconds). */
+    Tick intervalMs = 2000;
+    /**
+     * Pages left to the guest on top of the estimated working set.
+     * The estimate is a lower bound (read-only set and overflow
+     * losses are invisible to a dirty log), so this margin is what
+     * keeps an adaptive balloon from forcing guest-side reclaim of
+     * pages that are actually live.
+     */
+    std::uint64_t slackPages = 8192;
+    /**
+     * Largest balloon *inflation* per step per guest, pages (0 = no
+     * limit). Bounds the reclaim burst a sudden working-set drop can
+     * trigger, like the stepped inflation real balloon managers use.
+     * Deflation is never stepped — relief must be immediate.
+     */
+    std::uint64_t maxStepPages = 0;
+    /**
+     * Cache refaults (guest disk reads re-filling reclaimed page
+     * cache) a guest may take per interval before the governor treats
+     * it as thrashing. A dirty log cannot see the read-only working
+     * set, so refaults are the signal that the balloon ate live
+     * cache: past this tolerance the guest's slack is grown
+     * multiplicatively and decayed slowly once the refaults stop
+     * (AIMD, like TCP). 0 disables the feedback.
+     */
+    std::uint64_t refaultTolerance = 64;
+};
+
+/**
+ * The per-host balloon manager: one step() resizes every guest's
+ * balloon toward its current target.
+ */
+class BalloonGovernor
+{
+  public:
+    /**
+     * @param guests One entry per VM, in VM-id order (the estimator
+     *        indexes its per-VM estimates the same way).
+     */
+    BalloonGovernor(std::vector<guest::GuestOs *> guests,
+                    const analysis::WssEstimator &wss,
+                    const BalloonGovernorConfig &cfg, StatSet &stats);
+
+    /** Run one control-loop step (also called by the periodic event). */
+    void step();
+
+    /** Attach the periodic control loop to @p queue. */
+    void attach(sim::EventQueue &queue);
+
+    /** Stop the loop at the next firing. */
+    void detach() { attached_ = false; }
+
+    /** Balloon resize actions taken so far (inflations + deflations). */
+    std::uint64_t resizes() const { return resizes_; }
+
+    /** Current balloon target of @p vm in pages. */
+    std::uint64_t targetPages(VmId vm) const;
+
+    /** Current refault-feedback slack of @p vm in pages. */
+    std::uint64_t extraSlackPages(VmId vm) const
+    {
+        return vm_state_[vm].extraSlackPages;
+    }
+
+  private:
+    struct VmState
+    {
+        std::uint64_t lastCacheMisses = 0;
+        std::uint64_t extraSlackPages = 0;
+    };
+
+    std::vector<guest::GuestOs *> guests_;
+    const analysis::WssEstimator &wss_;
+    BalloonGovernorConfig cfg_;
+    StatSet &stats_;
+    std::vector<VmState> vm_state_;
+    bool attached_ = false;
+    std::uint64_t resizes_ = 0;
+    std::uint64_t &stat_resizes_;
+    std::uint64_t &stat_backoffs_;
+};
+
+} // namespace jtps::core
+
+#endif // JTPS_CORE_BALLOON_GOVERNOR_HH

@@ -22,7 +22,10 @@ Scenario::build()
     jtps_assert(!built_);
     built_ = true;
 
-    hv_ = std::make_unique<hv::KvmHypervisor>(cfg_.host, stats_);
+    hv::HostConfig hcfg = cfg_.host;
+    if (cfg_.pmlRingSlots > 0)
+        hcfg.pmlRingSlots = cfg_.pmlRingSlots;
+    hv_ = std::make_unique<hv::KvmHypervisor>(hcfg, stats_);
     // Staged guest execution: register the counters at zero (so every
     // registry carries them regardless of mode) and size the queue's
     // stage pool. guestThreads == 0 keeps the legacy direct epoch
@@ -30,6 +33,10 @@ Scenario::build()
     guest_shards_ = &stats_.counter("sim.guest_shards");
     intent_commits_ = &stats_.counter("sim.intent_commits");
     stage_fallbacks_ = &stats_.counter("sim.stage_fallbacks");
+    // Balloon/WSS counters are registered whether or not the adaptive
+    // governor runs, so every registry has the same shape.
+    stats_.counter("balloon.wss_resizes");
+    stats_.counter("wss.samples");
     queue_.setStageThreads(cfg_.guestThreads);
     // Wire (but do not enable) tracing: the hypervisor fans the sink
     // out to the swap device, and the scanner/guests reach it through
@@ -38,6 +45,8 @@ Scenario::build()
     hv_->setTrace(&trace_);
     ksm::KsmConfig kcfg = cfg_.ksm;
     kcfg.scanThreads = cfg_.ksmScanThreads;
+    if (cfg_.pmlRingSlots > 0)
+        kcfg.usePml = true;
     ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, kcfg, stats_);
 
     // Synthesize each distinct program's class set once: the classes
@@ -148,6 +157,30 @@ Scenario::scheduleEpochs()
     if (epochs_scheduled_)
         return;
     epochs_scheduled_ = true;
+
+    if (cfg_.adaptiveBalloon) {
+        // The estimator piggybacks on the scanner's ring drains
+        // (pmlRingSlots forces usePml), so it must not reset the
+        // rings itself.
+        jtps_assert(cfg_.pmlRingSlots > 0);
+        analysis::WssConfig wcfg;
+        wcfg.windowMs = cfg_.wssWindowMs;
+        wcfg.drainRings = false;
+        wss_ = std::make_unique<analysis::WssEstimator>(*hv_, wcfg,
+                                                        stats_);
+        wss_->attach(queue_);
+        std::vector<guest::GuestOs *> ptrs;
+        ptrs.reserve(guests_.size());
+        for (auto &g : guests_)
+            ptrs.push_back(g.get());
+        BalloonGovernorConfig bcfg;
+        bcfg.intervalMs = cfg_.balloonIntervalMs;
+        bcfg.slackPages = bytesToPages(cfg_.balloonSlackBytes);
+        bcfg.maxStepPages = bytesToPages(cfg_.balloonMaxStepBytes);
+        governor_ = std::make_unique<BalloonGovernor>(
+            std::move(ptrs), *wss_, bcfg, stats_);
+        governor_->attach(queue_);
+    }
 
     if (cfg_.guestThreads == 0) {
         // Legacy direct execution: one serial event runs every VM's

@@ -34,6 +34,8 @@
 #include "analysis/forensics.hh"
 #include "analysis/report.hh"
 #include "analysis/sharing_monitor.hh"
+#include "analysis/wss_estimator.hh"
+#include "core/balloon_governor.hh"
 #include "base/stats.hh"
 #include "base/trace.hh"
 #include "guest/guest_os.hh"
@@ -114,6 +116,40 @@ struct ScenarioConfig
      * fully serial.
      */
     unsigned ksmScanThreads = 1;
+
+    /**
+     * Per-VM Page-Modification-Log ring size in slots (see
+     * hv::HostConfig::pmlRingSlots). Non-zero overrides host.pmlRingSlots
+     * AND switches the KSM scanner to its log-driven pass mode
+     * (ksm::KsmConfig::usePml) — O(dirty) passes, byte-identical
+     * merges. 0 keeps the generation-walk scanner and no rings.
+     */
+    std::uint32_t pmlRingSlots = 0;
+
+    /**
+     * Replace the fixed, hand-sized balloons of the paper's §VI
+     * comparison with the adaptive core::BalloonGovernor: every
+     * balloonIntervalMs each guest's balloon is resized to its
+     * PML-estimated working set plus balloonSlackBytes. Requires
+     * pmlRingSlots > 0 (the estimator reads the rings).
+     */
+    bool adaptiveBalloon = false;
+    /** Working-set slack the governor leaves each guest. */
+    Bytes balloonSlackBytes = 32 * MiB;
+    /** Governor control-loop period. */
+    Tick balloonIntervalMs = 2000;
+    /**
+     * Per-interval cap on balloon resizes (BalloonGovernorConfig::
+     * maxStepPages). Bounds the reclaim burst one governor step can
+     * ask a guest for — a cold estimator plus a big guest would
+     * otherwise request hundreds of thousands of page reclaims in
+     * one simulated instant. Kept small relative to the page-cache
+     * refill rate: a probe that bites live cache must be cheap to
+     * undo, since dropped pages come back one disk read at a time.
+     */
+    Bytes balloonMaxStepBytes = 16 * MiB;
+    /** Working-set sampling window (analysis::WssConfig::windowMs). */
+    Tick wssWindowMs = 2000;
 
     /**
      * Worker threads for the guest-mutator stage phase: each epoch
@@ -223,6 +259,12 @@ class Scenario
         return monitor_.get();
     }
 
+    /** The working-set estimator (nullptr unless adaptiveBalloon). */
+    analysis::WssEstimator *wss() { return wss_.get(); }
+
+    /** The balloon governor (nullptr unless adaptiveBalloon). */
+    BalloonGovernor *balloonGovernor() { return governor_.get(); }
+
   private:
     void scheduleEpochs();
     void scheduleStagedVm(std::size_t i);
@@ -238,6 +280,8 @@ class Scenario
 
     std::unique_ptr<hv::KvmHypervisor> hv_;
     std::unique_ptr<ksm::KsmScanner> ksm_;
+    std::unique_ptr<analysis::WssEstimator> wss_;
+    std::unique_ptr<BalloonGovernor> governor_;
     std::vector<std::unique_ptr<guest::GuestOs>> guests_;
     std::vector<std::unique_ptr<jvm::JavaVm>> jvms_;
     std::vector<std::unique_ptr<workload::ClientDriver>> drivers_;

@@ -111,14 +111,24 @@ Gfn
 GuestOs::allocGfn()
 {
     // The balloon's hold shrinks the usable guest memory.
-    const std::uint64_t limit = guestPages() - balloon_held_;
-    while (gfns_used_ >= limit) {
+    while (gfns_used_ >= guestPages() - balloon_held_) {
         // Out of guest frames: reclaim like a kernel under pressure.
-        if (!reclaimOneGuestPage()) {
-            fatal("guest '%s' out of memory: %llu pages usable, "
-                  "page cache empty, swap full",
-                  name_.c_str(), static_cast<unsigned long long>(limit));
+        if (reclaimOneGuestPage())
+            continue;
+        if (balloon_held_ > 0) {
+            // virtio_balloon's DEFLATE_ON_OOM: with nothing left to
+            // reclaim, the guest takes a page back from the balloon
+            // instead of OOM-killing. A governor reads the shrunken
+            // hold at its next interval and re-targets from there.
+            --balloon_held_;
+            traceRecord(TraceEventType::BalloonDeflate, 1,
+                        balloon_held_);
+            continue;
         }
+        fatal("guest '%s' out of memory: %llu pages usable, "
+              "page cache empty, swap full",
+              name_.c_str(),
+              static_cast<unsigned long long>(guestPages()));
     }
     if (!gfn_free_list_.empty()) {
         Gfn g = gfn_free_list_.back();
@@ -142,12 +152,29 @@ GuestOs::balloonTake(std::uint64_t pages)
 {
     std::uint64_t taken = 0;
     while (taken < pages && balloon_held_ < guestPages()) {
-        if (gfns_used_ >= guestPages() - balloon_held_ &&
-            !reclaimOneGuestPage()) {
-            break; // nothing left to reclaim for the balloon
+        const std::uint64_t usable = guestPages() - balloon_held_;
+        if (gfns_used_ < usable) {
+            // Free guest frames need no reclaim: pin them in bulk.
+            const std::uint64_t grab =
+                std::min(usable - gfns_used_, pages - taken);
+            balloon_held_ += grab;
+            taken += grab;
+            continue;
         }
-        // Either free memory existed or reclaim created it: the
-        // balloon pins one more frame's worth.
+        // Memory is tight. Drop clean page cache in bulk first — one
+        // random-replacement sweep amortised over the whole request;
+        // a per-page reclaimPageCache(1) here would re-pay the sweep's
+        // failed-attempt budget for every page of a large take, which
+        // goes quadratic once most of the remaining cache is mapped.
+        const std::uint64_t reclaimed =
+            reclaimPageCache(pages - taken);
+        if (reclaimed > 0) {
+            balloon_held_ += reclaimed;
+            taken += reclaimed;
+            continue;
+        }
+        if (!swapOutOneAnonPage())
+            break; // nothing left to reclaim for the balloon
         ++balloon_held_;
         ++taken;
     }

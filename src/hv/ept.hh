@@ -44,6 +44,13 @@ struct EptEntry
     std::uint64_t backing = 0;
     PageState state = PageState::NotPresent;
     bool writeProtected = false; //!< COW-break on next write
+    /**
+     * The page already has an entry in its VM's PML ring for the
+     * current drain cycle. Mirrors hardware PML, which logs a gfn on
+     * the dirty-bit *transition* and not on every store: one ring
+     * entry per page per cycle, cleared when the ring is drained.
+     */
+    bool pmlLogged = false;
 };
 
 /**

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "base/hash.hh"
 #include "base/logging.hh"
@@ -24,7 +25,10 @@ Hypervisor::Hypervisor(const HostConfig &cfg, StatSet &stats)
           &stats),
       swap_(&stats),
       ram_slot_capacity_(bytesToPages(cfg.compressedSwapPoolBytes) *
-                         swapCompressionRatio)
+                         swapCompressionRatio),
+      pml_ring_slots_(cfg.pmlRingSlots),
+      stat_pml_appends_(stats.counter("hv.pml_appends")),
+      stat_pml_overflows_(stats.counter("hv.pml_overflows"))
 {
 }
 
@@ -43,6 +47,7 @@ Hypervisor::createVm(const std::string &name, Bytes guest_mem,
     vms_.push_back(
         std::make_unique<Vm>(id, name, bytesToPages(guest_mem)));
     Vm &v = *vms_.back();
+    v.pmlRing.reserve(pml_ring_slots_);
 
     // The VM process's own memory (QEMU heap, device emulation state):
     // private, per-VM content, pinned so the host never swaps the VMM
@@ -137,6 +142,41 @@ Hypervisor::evictOne()
 }
 
 void
+Hypervisor::pmlLog(Vm &v, EptEntry &e, Gfn gfn, std::uint64_t gen)
+{
+    if (pml_ring_slots_ == 0 || e.pmlLogged)
+        return;
+    if (v.pmlRing.size() >= pml_ring_slots_) {
+        // Ring full: the entry is lost, exactly like hardware PML
+        // raising its full-vmexit with further dirtying unrecorded.
+        // The logged bit stays clear so the loss is counted per
+        // dropped page; the overflow flag tells the drain-time
+        // consumer its view of this VM is incomplete.
+        v.pmlOverflow = true;
+        ++stat_pml_overflows_;
+        return;
+    }
+    v.pmlRing.push_back(PmlEntry{gfn, gen});
+    e.pmlLogged = true;
+    ++v.pmlAppendsTotal;
+    ++stat_pml_appends_;
+}
+
+void
+Hypervisor::pmlResetRing(VmId vm_id)
+{
+    Vm &v = vm(vm_id);
+    for (const PmlEntry &pe : v.pmlRing)
+        v.ept.entry(pe.gfn).pmlLogged = false;
+    v.pmlRing.clear();
+    // An overflow may have left logged-but-lost pages only in the
+    // other direction (lost pages never got their bit set), so the
+    // entry-driven clear above is complete: every set bit has a ring
+    // entry until the drain consumes it.
+    v.pmlOverflow = false;
+}
+
+void
 Hypervisor::swapIn(VmId vm_id, Gfn gfn)
 {
     Vm &faulting = vm(vm_id);
@@ -164,6 +204,15 @@ Hypervisor::swapIn(VmId vm_id, Gfn gfn)
         jtps_assert(v.swappedPages > 0);
         --v.swappedPages;
         ++v.residentPages;
+        // The restored page sits on a reused host frame with a fresh
+        // write generation and without its old KSM-stable flag, so any
+        // ring entry recorded before the eviction is stale (its
+        // generation no longer matches anything). Re-log the page:
+        // this is the frame-reuse invalidation that keeps log-driven
+        // scans equivalent to the generation walk — the walk would
+        // re-examine the page (new generation fails every skip proof),
+        // so the log must deliver it too.
+        pmlLog(v, e, m.gfn, frames_.writeGen(hfn));
     }
 
     ++faulting.majorFaults;
@@ -239,6 +288,11 @@ Hypervisor::pageForWrite(VmId vm_id, Gfn gfn)
     // conservative (a generation may only ever certify *unchanged*
     // content).
     frames_.bumpWriteGen(e.backing);
+    // Every content mutation funnels through here, so this one append
+    // is what makes the PML rings a complete dirty log: once per page
+    // per drain cycle (the logged bit models the hardware dirty-bit
+    // transition), stamped with the generation the write produced.
+    pmlLog(v, e, gfn, frames_.writeGen(e.backing));
     return frames_.frame(e.backing).data;
 }
 
@@ -365,7 +419,17 @@ Hypervisor::setHugePage(VmId vm_id, Gfn gfn, bool huge)
             return; // nothing was ever marked
         v.hugePages.assign(v.ept.size(), false);
     }
+    const bool was = v.hugePages[gfn];
     v.hugePages[gfn] = huge;
+    // Dropping the THP flag makes the page MERGEABLE again without any
+    // write. The generation walk re-examines it on its next pass; a
+    // log-driven scanner only hears about logged pages, so the
+    // transition itself must land in the ring.
+    if (was && !huge) {
+        EptEntry &e = v.ept.entry(gfn);
+        if (e.state == PageState::Resident)
+            pmlLog(v, e, gfn, frames_.writeGen(e.backing));
+    }
 }
 
 bool
@@ -503,6 +567,18 @@ Hypervisor::checkConsistency() const
         }
         jtps_assert(resident == v.residentPages);
         jtps_assert(swapped == v.swappedPages);
+
+        // PML invariant: every logged bit is covered by a live ring
+        // entry (pmlResetRing()'s entry-driven clear relies on it),
+        // and the ring respects its capacity.
+        jtps_assert(v.pmlRing.size() <= pml_ring_slots_);
+        std::unordered_set<Gfn> ring_gfns;
+        for (const PmlEntry &pe : v.pmlRing)
+            ring_gfns.insert(pe.gfn);
+        for (Gfn gfn = 0; gfn < v.ept.size(); ++gfn) {
+            if (v.ept.entry(gfn).pmlLogged)
+                jtps_assert(ring_gfns.count(gfn) == 1);
+        }
     }
 }
 

@@ -56,6 +56,18 @@ struct HostConfig
      * decompression instead of a disk read. 0 disables the tier.
      */
     Bytes compressedSwapPoolBytes = 0;
+    /**
+     * Page-Modification-Log ring slots per VM (Intel PML models a
+     * 512-entry buffer). Every write fault appends the dirtied gfn
+     * (once per drain cycle, like the hardware dirty-bit transition)
+     * together with the frame's fresh write generation; consumers —
+     * the KSM scanner's log-driven pass and the working-set estimator
+     * — drain the ring instead of walking all of guest memory. When a
+     * ring fills up, the VM is flagged overflowed and loses entries
+     * until the next drain (the scanner then falls back to a full
+     * generation walk for that VM). 0 disables logging entirely.
+     */
+    std::uint32_t pmlRingSlots = 0;
 };
 
 /**
@@ -72,6 +84,21 @@ class PageEventListener
 
     /** (vm, gfn) was discarded; its EPT entry returned to NotPresent. */
     virtual void pageDiscarded(VmId vm, Gfn gfn) = 0;
+};
+
+/**
+ * One entry of a VM's Page-Modification-Log ring: a guest frame that
+ * was dirtied, stamped with the backing frame's write generation at
+ * append time. The generation is the staleness proof: a drain-time
+ * consumer may act on the entry only to the extent the live state
+ * still matches (a recycled gfn or a reused host frame carries a
+ * different generation, so no verdict can be derived from the stale
+ * entry itself — the scanner re-reads live state on every visit).
+ */
+struct PmlEntry
+{
+    Gfn gfn = invalidFrame;
+    std::uint64_t gen = 0;
 };
 
 /** One guest VM. */
@@ -94,6 +121,13 @@ struct Vm
     bool mergeable = true;
     /** Per-gfn transparent-huge-page backing (lazily sized). */
     std::vector<bool> hugePages;
+    /** PML ring (append order); capacity reserved to pmlRingSlots. */
+    std::vector<PmlEntry> pmlRing;
+    /** The ring filled up and entries were lost since the last drain. */
+    bool pmlOverflow = false;
+    /** Cumulative successful appends (unique dirtied pages per drain
+     *  cycle) — the working-set estimator's raw signal. */
+    std::uint64_t pmlAppendsTotal = 0;
 
     Vm(VmId id, std::string name, std::uint64_t guest_frames)
         : id(id), name(std::move(name)), ept(guest_frames)
@@ -243,6 +277,39 @@ class Hypervisor
     /** Unsubscribe @p l (no-op if it was never added). */
     void removePageListener(PageEventListener *l);
 
+    // ------------------------------------------------------------------
+    // Page-Modification-Log rings
+    // ------------------------------------------------------------------
+
+    /** True when PML rings are configured (pmlRingSlots > 0). */
+    bool pmlEnabled() const { return pml_ring_slots_ > 0; }
+
+    /** Configured ring capacity in entries. */
+    std::uint32_t pmlRingSlots() const { return pml_ring_slots_; }
+
+    /** @p vm's undrained ring entries, in append order. */
+    const std::vector<PmlEntry> &
+    pmlEntries(VmId vm) const
+    {
+        return this->vm(vm).pmlRing;
+    }
+
+    /** True if @p vm's ring lost entries since its last drain. */
+    bool
+    pmlOverflowed(VmId vm) const
+    {
+        return this->vm(vm).pmlOverflow;
+    }
+
+    /**
+     * Finish a drain of @p vm's ring: clear the per-page logged bits
+     * of the drained entries (so the next write to each page logs
+     * again), empty the ring, and reset the overflow flag. The
+     * consumer reads pmlEntries()/pmlOverflowed() first, then calls
+     * this exactly once per drain cycle.
+     */
+    void pmlResetRing(VmId vm);
+
   protected:
     /**
      * Allocate a host frame, evicting if the host is out of memory.
@@ -263,6 +330,13 @@ class Hypervisor
     /** Make (vm, gfn) resident and writable, running faults as needed. */
     mem::PageData &pageForWrite(VmId vm, Gfn gfn);
 
+    /**
+     * Log a dirtied page into @p v's PML ring (no-op when rings are
+     * disabled or the page is already logged this drain cycle). @p gen
+     * must be the backing frame's current write generation.
+     */
+    void pmlLog(Vm &v, EptEntry &e, Gfn gfn, std::uint64_t gen);
+
     HostConfig cfg_;
     StatSet &stats_;
     TraceBuffer *trace_ = nullptr;
@@ -272,6 +346,12 @@ class Hypervisor
     std::vector<PageEventListener *> page_listeners_;
     /** Compressed-tier slot capacity (pool pages x compression). */
     std::uint64_t ram_slot_capacity_ = 0;
+    /** PML ring capacity per VM (0 = logging disabled). */
+    std::uint32_t pml_ring_slots_ = 0;
+    // pmlLog() runs on the hottest write path; the counters are cached
+    // so it never does a string-keyed StatSet lookup.
+    std::uint64_t &stat_pml_appends_;
+    std::uint64_t &stat_pml_overflows_;
 };
 
 /**

@@ -120,6 +120,21 @@ struct KsmConfig
      * multi-shard batches on tiny memories.
      */
     std::uint32_t scanShardPages = 4096;
+    /**
+     * Drive passes from the hypervisor's PML rings instead of walking
+     * every resident page: each batch drains the rings into per-VM
+     * dirty queues and visits only logged pages (a VM whose ring
+     * overflowed is walked in full instead, restoring completeness).
+     * Requires hv::HostConfig::pmlRingSlots > 0. Merges, sharing
+     * totals and merge/promotion trace events are byte-identical to
+     * the generation walk (docs/PERF.md §6): skipping is gated on the
+     * completeness of the dirty log plus the same write-generation
+     * proofs, never on content heuristics. Visit-accounting counters
+     * (`ksm.pages_visited`, `ksm.pages_gen_skipped`, ...) naturally
+     * shrink to O(dirty); `ksm.pages_pml_skipped` counts the resident
+     * pages each pass proved it could leave unvisited.
+     */
+    bool usePml = false;
 };
 
 /**
@@ -316,6 +331,71 @@ class KsmScanner : public hv::PageEventListener
     /** The two-phase collect/classify/commit scan loop. */
     std::uint64_t scanBatchParallel();
 
+    /**
+     * Per-VM dirty-queue state for log-driven passes (usePml). A pass
+     * visits `current` (sorted, deduplicated gfns) instead of the
+     * whole address space; `next` accumulates work for the following
+     * pass (ring entries that landed behind the cursor, and not-calm
+     * pages whose second calm-protocol visit is still owed). A ring
+     * overflow degrades the VM to a full generation walk for the
+     * affected passes.
+     */
+    struct PmlVmQueue
+    {
+        std::vector<Gfn> current;
+        std::vector<Gfn> next;
+        /**
+         * Cross-pass-match revisits owed *this* pass (sorted): pages a
+         * candidate met as a persistent unstable entry ahead of the
+         * cursor. Kept apart from `current` because they are exempt
+         * from the batch's pagesToScan budget — serial and parallel
+         * batches must segment identically, and a parallel batch can
+         * only discover them after its collect already fixed the
+         * batch's size.
+         */
+        std::vector<Gfn> injected;
+        std::size_t curIdx = 0;
+        std::size_t injIdx = 0;
+        std::uint64_t visitedThisPass = 0;
+        bool walkThisPass = false;
+        bool walkNextPass = false;
+    };
+
+    /** Lazily-sized dirty queue of @p vm. */
+    PmlVmQueue &pmlQueue(VmId vm);
+
+    /**
+     * Drain every VM's PML ring into the dirty queues (called at the
+     * start of each log-driven batch). Entries at or ahead of the
+     * cursor join the current pass; entries behind it, the next pass.
+     * Overflowed VMs are flagged for full walks.
+     */
+    void pmlDrain();
+
+    /** Queue @p gfn of @p vm for the next pass (not-calm revisit). */
+    void pmlRequeue(VmId vm, Gfn gfn);
+
+    /**
+     * Schedule a visit of (@p vm, @p gfn) at its canonical position in
+     * the *current* pass: the page holds a live persistent unstable
+     * entry that a candidate earlier in cursor order just matched, and
+     * the walk would promote at this page's own visit. Inserts into
+     * the VM's `injected` lane, or — when a parallel batch's collect
+     * has already passed the position — splices a full-replay item
+     * into the unreplayed commit stream.
+     */
+    void pmlScheduleThisPass(VmId vm, Gfn gfn);
+
+    /** Log-driven serial scan loop (usePml && scanThreads <= 1). */
+    std::uint64_t scanBatchSerialPml();
+
+    /** Log-driven collect feeding the shared classify/commit split. */
+    std::uint64_t scanBatchParallelPml();
+
+    /** Classify+commit work_[0, n) exactly as scanBatchParallel()
+     *  does (shared tail of both parallel collects). */
+    void classifyAndCommit();
+
     /** Classify work_[begin, end) into snaps_ (worker thread;
      *  read-only — no counters, no memo, no per-page state writes). */
     void classifyRange(const mem::FrameTable &ft, std::size_t begin,
@@ -426,6 +506,16 @@ class KsmScanner : public hv::PageEventListener
     std::vector<std::vector<PageScanState>> page_state_;
     std::vector<FrameMemo> frame_memo_;
 
+    /** Per-VM dirty queues (usePml mode only). */
+    std::vector<PmlVmQueue> pml_;
+    /** Scratch for sorting freshly drained ring entries. */
+    std::vector<Gfn> pml_pending_;
+    /** True while classifyAndCommit() replays commits: a cross-pass
+     *  revisit behind the collect cursor must splice into the commit
+     *  stream (at work_[pml_commit_idx_+1, …)) instead of a queue. */
+    bool pml_in_commit_ = false;
+    std::size_t pml_commit_idx_ = 0;
+
     /** Classify workers (created on the first parallel batch). */
     std::unique_ptr<ThreadPool> pool_;
     /** Parallel batch buffers, reused across batches. */
@@ -446,6 +536,7 @@ class KsmScanner : public hv::PageEventListener
     std::uint64_t &stat_scan_shards_;
     std::uint64_t &stat_precheck_candidates_;
     std::uint64_t &stat_commit_replays_;
+    std::uint64_t &stat_pml_skipped_;
 };
 
 } // namespace jtps::ksm

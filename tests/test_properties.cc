@@ -441,7 +441,16 @@ struct TwinStacks
      *  behave byte-identically (e.g. parallel vs. serial scan). */
     TwinStacks(Bytes ram, const KsmConfig &inc_cfg,
                const KsmConfig &ref_cfg)
-        : inc_hv(hostCfg(ram), inc_stats), ref_hv(hostCfg(ram), ref_stats),
+        : TwinStacks(hostCfg(ram), hostCfg(ram), inc_cfg, ref_cfg)
+    {
+    }
+
+    /** Fully general twins: per-side host configuration too (the PML
+     *  fuzzes give the log-driven side rings and the walker none). */
+    TwinStacks(const hv::HostConfig &inc_host,
+               const hv::HostConfig &ref_host, const KsmConfig &inc_cfg,
+               const KsmConfig &ref_cfg)
+        : inc_hv(inc_host, inc_stats), ref_hv(ref_host, ref_stats),
           inc_scanner(inc_hv, inc_cfg, inc_stats),
           ref_scanner(ref_hv, ref_cfg, ref_stats)
     {
@@ -972,3 +981,254 @@ TEST_P(GuestExecFallbackFuzz, BalloonedAndPagedHostMatchesDirect)
 
 INSTANTIATE_TEST_SUITE_P(Widths, GuestExecFallbackFuzz,
                          ::testing::Values(1, 4));
+
+// ---------------------------------------------------------------------
+// PML (dirty-log) scan equivalence
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Log-driven scanner config at @p threads classify workers. */
+KsmConfig
+pmlKsmCfg(unsigned threads, std::uint32_t pages_to_scan = 500)
+{
+    KsmConfig c;
+    c.pagesToScan = pages_to_scan;
+    c.incrementalScan = true;
+    c.usePml = true;
+    c.scanThreads = threads;
+    c.scanShardPages = 16;
+    return c;
+}
+
+hv::HostConfig
+pmlHostCfg(Bytes ram, std::uint32_t slots)
+{
+    hv::HostConfig h = TwinStacks::hostCfg(ram);
+    h.pmlRingSlots = slots;
+    return h;
+}
+
+/**
+ * Counters that legitimately differ between a log-driven and a walking
+ * scanner: visit/skip/staleness accounting (the whole point is visiting
+ * fewer pages, so every per-visit tally moves differently) plus the PML
+ * plumbing itself, which the walker never touches. Merges, promotions,
+ * sharing totals, COW breaks and the trace stream must still match.
+ */
+const std::vector<std::string> pmlModeCounters = {
+    "ksm.pages_visited",       "ksm.pages_gen_skipped",
+    "ksm.digest_cache_hits",   "ksm.scan_shards",
+    "ksm.precheck_candidates", "ksm.commit_replays",
+    "ksm.stale_stable_nodes",  "ksm.stale_unstable_nodes",
+    "ksm.skipped_huge",        "ksm.pages_pml_skipped",
+    "hv.pml_appends",          "hv.pml_overflows",
+};
+
+/** One random guest-side mutation applied identically to both stacks. */
+void
+applyTwinMutation(TwinStacks &t, Rng &rng)
+{
+    const VmId vm = rng.nextBelow(TwinStacks::numVms);
+    const Gfn gfn = rng.nextBelow(TwinStacks::pagesPerVm);
+    const int op = rng.nextBelow(100);
+    if (op < 45) {
+        PageData d = PageData::filled(rng.nextBelow(6), 0);
+        t.inc_hv.writePage(vm, gfn, d);
+        t.ref_hv.writePage(vm, gfn, d);
+    } else if (op < 62) {
+        const unsigned sector = rng.nextBelow(mem::sectorsPerPage);
+        const std::uint64_t value = rng.nextBelow(4);
+        t.inc_hv.writeWord(vm, gfn, sector, value);
+        t.ref_hv.writeWord(vm, gfn, sector, value);
+    } else if (op < 76) {
+        t.inc_hv.discardPage(vm, gfn);
+        t.ref_hv.discardPage(vm, gfn);
+    } else if (op < 90) {
+        t.inc_hv.touchPage(vm, gfn);
+        t.ref_hv.touchPage(vm, gfn);
+    } else {
+        const bool huge = rng.bernoulli(0.5);
+        t.inc_hv.setHugePage(vm, gfn, huge);
+        t.ref_hv.setHugePage(vm, gfn, huge);
+    }
+}
+
+/**
+ * Everything a log-driven pass must reproduce of the walk: merge and
+ * calm-protocol counters, sharing totals, pass count, every
+ * translation and page content, and the trace streams event for event.
+ * (Visit accounting is excluded by design — see pmlModeCounters.)
+ */
+void
+expectPmlEqual(TwinStacks &t, std::uint64_t seed, int round)
+{
+    static const char *counters[] = {
+        "ksm.stable_merges",
+        "ksm.unstable_promotions",
+        "ksm.not_calm",
+        "hv.cow_breaks",
+    };
+    for (const char *c : counters)
+        ASSERT_EQ(t.inc_stats.get(c), t.ref_stats.get(c))
+            << c << " seed=" << seed << " round=" << round;
+    ASSERT_EQ(t.inc_scanner.fullScans(), t.ref_scanner.fullScans())
+        << "seed=" << seed << " round=" << round;
+    ASSERT_EQ(t.inc_scanner.pagesShared(), t.ref_scanner.pagesShared())
+        << "seed=" << seed << " round=" << round;
+    ASSERT_EQ(t.inc_scanner.pagesSharing(), t.ref_scanner.pagesSharing())
+        << "seed=" << seed << " round=" << round;
+    for (int v = 0; v < TwinStacks::numVms; ++v) {
+        for (Gfn g = 0; g < TwinStacks::pagesPerVm; ++g) {
+            ASSERT_EQ(t.inc_hv.translate(v, g), t.ref_hv.translate(v, g))
+                << "seed=" << seed << " round=" << round << " vm=" << v
+                << " gfn=" << g;
+            const PageData *pi = t.inc_hv.peek(v, g);
+            const PageData *pr = t.ref_hv.peek(v, g);
+            ASSERT_EQ(pi == nullptr, pr == nullptr)
+                << "seed=" << seed << " round=" << round << " vm=" << v
+                << " gfn=" << g;
+            if (pi != nullptr) {
+                ASSERT_EQ(*pi, *pr) << "seed=" << seed
+                                    << " round=" << round << " vm=" << v
+                                    << " gfn=" << g;
+            }
+        }
+    }
+    t.inc_hv.checkConsistency();
+    t.ref_hv.checkConsistency();
+
+    const auto &ei = t.inc_trace.events();
+    const auto &er = t.ref_trace.events();
+    ASSERT_EQ(ei.size(), er.size())
+        << "trace length, seed=" << seed << " round=" << round;
+    for (std::size_t i = 0; i < ei.size(); ++i) {
+        ASSERT_TRUE(ei[i].type == er[i].type && ei[i].vm == er[i].vm &&
+                    ei[i].arg0 == er[i].arg0 && ei[i].arg1 == er[i].arg1)
+            << "trace event " << i << " differs, seed=" << seed
+            << " round=" << round;
+    }
+}
+
+/**
+ * Drive the twins pass-at-a-time: a burst of mutations, then exactly
+ * one full scan pass on each side. Batch boundaries fall differently
+ * in the two modes (the log-driven side has far less to look at), so
+ * mutating mid-pass would interleave guest trace events differently —
+ * pass granularity is the finest at which the streams stay comparable.
+ * This is also the discrete-event shape the drain logic assumes: rings
+ * are drained at every batch, so entries never survive a cursor move.
+ */
+void
+driveTwinsByPass(TwinStacks &t, std::uint64_t seed, int rounds)
+{
+    Rng rng(seed);
+    for (int round = 0; round < rounds; ++round) {
+        const int burst = 1 + rng.nextBelow(24);
+        for (int i = 0; i < burst; ++i)
+            applyTwinMutation(t, rng);
+        const std::uint64_t inc_to = t.inc_scanner.fullScans() + 1;
+        while (t.inc_scanner.fullScans() < inc_to)
+            t.inc_scanner.scanBatch();
+        const std::uint64_t ref_to = t.ref_scanner.fullScans() + 1;
+        while (t.ref_scanner.fullScans() < ref_to)
+            t.ref_scanner.scanBatch();
+        if (round % 10 == 9) {
+            ASSERT_NO_FATAL_FAILURE(expectPmlEqual(t, seed, round));
+        }
+    }
+    t.inc_scanner.runToQuiescence();
+    t.ref_scanner.runToQuiescence();
+    ASSERT_NO_FATAL_FAILURE(expectPmlEqual(t, seed, -1));
+    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(pmlModeCounters, seed));
+}
+
+class PmlScanEquivalenceFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+} // namespace
+
+TEST_P(PmlScanEquivalenceFuzz, MatchesWalkingScanner)
+{
+    const std::uint64_t seed = std::get<0>(GetParam());
+    const unsigned threads = std::get<1>(GetParam());
+    // inc side: log-driven passes from 4096-slot rings (never
+    // overflows at this scale); ref side: the serial incremental walk.
+    TwinStacks t(pmlHostCfg(2 * MiB, 4096), pmlHostCfg(2 * MiB, 0),
+                 pmlKsmCfg(threads), TwinStacks::ksmCfg(true));
+    ASSERT_NO_FATAL_FAILURE(driveTwinsByPass(t, seed, 120));
+    // Not vacuous: the log really fed the passes, whole clean VMs were
+    // skipped outright, and nothing ever fell back to a walk.
+    EXPECT_GT(t.inc_stats.get("hv.pml_appends"), 0u);
+    EXPECT_GT(t.inc_stats.get("ksm.pages_pml_skipped"), 0u);
+    EXPECT_EQ(t.inc_stats.get("hv.pml_overflows"), 0u);
+    EXPECT_LT(t.inc_stats.get("ksm.pages_visited"),
+              t.ref_stats.get("ksm.pages_visited"));
+    EXPECT_EQ(t.ref_stats.get("hv.pml_appends"), 0u);
+    EXPECT_EQ(t.ref_stats.get("ksm.pages_pml_skipped"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, PmlScanEquivalenceFuzz,
+    ::testing::Combine(::testing::Values(6, 256, 8128),
+                       ::testing::ValuesIn(parallelThreadCounts())));
+
+namespace
+{
+
+class PmlOverflowFallbackFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(PmlOverflowFallbackFuzz, TinyRingsForceWalksAndStillMatch)
+{
+    const std::uint64_t seed = GetParam();
+    // 4-slot rings overflow on nearly every mutation burst, so most
+    // passes run as per-VM walk fallbacks — the equivalence must
+    // survive constant switching between the two pass shapes.
+    TwinStacks t(pmlHostCfg(2 * MiB, 4), pmlHostCfg(2 * MiB, 0),
+                 pmlKsmCfg(1), TwinStacks::ksmCfg(true));
+    ASSERT_NO_FATAL_FAILURE(driveTwinsByPass(t, seed, 120));
+    EXPECT_GT(t.inc_stats.get("hv.pml_overflows"), 0u);
+    EXPECT_GT(t.inc_stats.get("hv.pml_appends"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PmlOverflowFallbackFuzz,
+                         ::testing::Values(6, 64, 256, 496, 8128));
+
+namespace
+{
+
+class PmlThreadInvarianceFuzz : public ::testing::TestWithParam<unsigned>
+{
+};
+
+} // namespace
+
+TEST_P(PmlThreadInvarianceFuzz, WidthsFullyIdentical)
+{
+    const unsigned threads = GetParam();
+    // Two log-driven scanners at different widths share the pass
+    // schedule batch for batch, so the full driveTwins stream —
+    // mutations interleaved mid-pass and all — must leave them
+    // indistinguishable. Against the serial log-driven scanner only
+    // the parallel-plumbing tallies may move.
+    TwinStacks t(pmlHostCfg(2 * MiB, 4096), pmlHostCfg(2 * MiB, 4096),
+                 pmlKsmCfg(threads), pmlKsmCfg(1));
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, 8128, 2500));
+    ASSERT_NO_FATAL_FAILURE(
+        t.expectRegistriesEqual(parallelOnlyCounters, 8128));
+    if (threads >= 2) {
+        EXPECT_GT(t.inc_stats.get("ksm.scan_shards"), 0u);
+    }
+    EXPECT_GT(t.inc_stats.get("hv.pml_appends"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PmlThreadInvarianceFuzz,
+                         ::testing::Values(2, 4));

@@ -42,6 +42,8 @@ struct Options
     Bytes zramBytes = 0;
     Bytes balloonBytes = 0;
     bool ksmtuned = false;
+    std::uint32_t pmlRingSlots = 0;
+    bool adaptiveBalloon = false;
     Bytes hostRam = 6ULL * GiB;
     Tick warmupMs = 45'000;
     Tick steadyMs = 60'000;
@@ -74,6 +76,11 @@ usage(const char *argv0)
         "  --balloon MB    inflate a balloon per guest after boot\n"
         "  --ksmtuned      govern pages_to_scan adaptively (RHEL\n"
         "                  ksmtuned) instead of the paper's schedule\n"
+        "  --pml-ring N    model an N-slot dirty-page log ring per VM\n"
+        "                  and scan only logged pages (O(dirty) KSM\n"
+        "                  passes, byte-identical merges; 0 = off)\n"
+        "  --adaptive-balloon  resize balloons from the PML working-\n"
+        "                  set estimate (requires --pml-ring)\n"
         "  --ram GB        host RAM (default 6)\n"
         "  --warmup S      warm-up seconds (default 45)\n"
         "  --steady S      steady seconds (default 60)\n"
@@ -122,6 +129,11 @@ parse(int argc, char **argv)
             opt.balloonBytes = std::strtoull(need(i), nullptr, 10) * MiB;
         else if (arg == "--ksmtuned")
             opt.ksmtuned = true;
+        else if (arg == "--pml-ring")
+            opt.pmlRingSlots =
+                static_cast<std::uint32_t>(std::strtoul(need(i), nullptr, 10));
+        else if (arg == "--adaptive-balloon")
+            opt.adaptiveBalloon = true;
         else if (arg == "--ram")
             opt.hostRam = std::strtoull(need(i), nullptr, 10) * GiB;
         else if (arg == "--warmup")
@@ -152,6 +164,8 @@ parse(int argc, char **argv)
     }
     if (opt.vms < 1 || opt.vms > 32)
         fatal("--vms must be in [1, 32]");
+    if (opt.adaptiveBalloon && opt.pmlRingSlots == 0)
+        fatal("--adaptive-balloon requires --pml-ring N");
 
     // Reject unknown report views up front instead of silently printing
     // nothing after a long run.
@@ -216,6 +230,8 @@ runDocumentJson(const Options &opt, core::Scenario &scenario)
     w.field("zram_bytes", opt.zramBytes);
     w.field("balloon_bytes", opt.balloonBytes);
     w.field("ksmtuned", opt.ksmtuned);
+    w.field("pml_ring", opt.pmlRingSlots);
+    w.field("adaptive_balloon", opt.adaptiveBalloon);
     w.field("host_ram_bytes", opt.hostRam);
     w.field("warmup_ms", opt.warmupMs);
     w.field("steady_ms", opt.steadyMs);
@@ -299,6 +315,8 @@ main(int argc, char **argv)
         opt.analysisThreads == 0 ? 1 : opt.analysisThreads;
     cfg.ksmScanThreads = opt.ksmThreads == 0 ? 1 : opt.ksmThreads;
     cfg.guestThreads = opt.guestThreads == 0 ? 1 : opt.guestThreads;
+    cfg.pmlRingSlots = opt.pmlRingSlots;
+    cfg.adaptiveBalloon = opt.adaptiveBalloon;
 
     std::vector<workload::WorkloadSpec> vms(
         static_cast<std::size_t>(opt.vms), pickWorkload(opt));
