@@ -19,6 +19,7 @@
 #include "base/trace.hh"
 #include "bench/bench_common.hh"
 #include "bench/bench_json.hh"
+#include "core/placement.hh"
 #include "guest/guest_os.hh"
 #include "hv/hypervisor.hh"
 #include "jvm/java_heap.hh"
@@ -696,6 +697,32 @@ BM_AdaptiveBalloon(benchmark::State &state)
 }
 BENCHMARK(BM_AdaptiveBalloon);
 
+void
+BM_PlacementPlan(benchmark::State &state)
+{
+    // Greedy sharing-aware packing of a fleet (range(0) mixed VM specs
+    // into 16-slot hosts). The cluster layer plans whole datacenters
+    // with this, so it must stay usable at 256+ VMs — fingerprints are
+    // sorted flat vectors and every candidate gain is one merge walk
+    // against the host's tag table instead of two from-scratch host
+    // estimates.
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    const workload::WorkloadSpec cycle[] = {
+        workload::dayTraderIntel(), workload::specjEnterprise2010(),
+        workload::tpcwJava(), workload::tuscanyBigbank()};
+    std::vector<workload::WorkloadSpec> specs;
+    specs.reserve(n);
+    for (std::size_t l = 0; l < n; ++l)
+        specs.push_back(cycle[l % 4]);
+    for (auto _ : state) {
+        auto placement =
+            core::PlacementPlanner::plan(specs, 16, true);
+        benchmark::DoNotOptimize(placement);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PlacementPlan)->Arg(64)->Arg(256);
+
 /**
  * Console reporter that additionally captures per-benchmark adjusted
  * real time, so main() can emit BENCH_micro_components.json (and the
@@ -839,6 +866,12 @@ main(int argc, char **argv)
     const double ab = reporter.realTimeNs("BM_AdaptiveBalloon");
     if (ab > 0)
         json.summaryField("adaptive_balloon_interval_ns", ab);
+    const double pp64 = reporter.realTimeNs("BM_PlacementPlan/64");
+    const double pp256 = reporter.realTimeNs("BM_PlacementPlan/256");
+    if (pp64 > 0)
+        json.summaryField("placement_plan_ns_64", pp64);
+    if (pp256 > 0)
+        json.summaryField("placement_plan_ns_256", pp256);
     const double fer = reporter.realTimeNs("BM_ForEachResidentSparse");
     if (fer > 0)
         json.summaryField("foreach_resident_sparse_ns", fer);

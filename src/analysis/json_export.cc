@@ -7,6 +7,8 @@ void
 writeStatsJson(JsonWriter &w, const StatSet &stats)
 {
     w.beginObject();
+    if (!stats.scope().empty())
+        w.field("scope", stats.scope());
     w.key("counters").beginObject();
     for (const auto &[name, value] : stats.counters())
         w.field(name, value);
@@ -39,6 +41,8 @@ void
 writeTraceJson(JsonWriter &w, const TraceBuffer &trace)
 {
     w.beginObject();
+    if (!trace.scope().empty())
+        w.field("scope", trace.scope());
     w.field("dropped", trace.dropped());
     w.key("events").beginArray();
     for (const TraceEvent &e : trace.events()) {

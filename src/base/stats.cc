@@ -63,23 +63,26 @@ StatSet::has(const std::string &name) const
 std::string
 StatSet::render() const
 {
+    const std::string prefix = scope_.empty() ? "" : scope_ + ".";
     std::size_t width = 0;
     for (const auto &kv : counters_)
-        width = std::max(width, kv.first.size());
+        width = std::max(width, prefix.size() + kv.first.size());
     for (const auto &kv : scalars_)
-        width = std::max(width, kv.first.size());
+        width = std::max(width, prefix.size() + kv.first.size());
 
     std::ostringstream out;
     char buf[160];
     for (const auto &kv : counters_) {
         std::snprintf(buf, sizeof(buf), "%-*s %20llu\n",
-                      static_cast<int>(width), kv.first.c_str(),
+                      static_cast<int>(width),
+                      (prefix + kv.first).c_str(),
                       static_cast<unsigned long long>(kv.second));
         out << buf;
     }
     for (const auto &kv : scalars_) {
         std::snprintf(buf, sizeof(buf), "%-*s %20.4f\n",
-                      static_cast<int>(width), kv.first.c_str(), kv.second);
+                      static_cast<int>(width),
+                      (prefix + kv.first).c_str(), kv.second);
         out << buf;
     }
     return out.str();

@@ -58,6 +58,20 @@ class StatSet
     /** True if the counter exists. */
     bool has(const std::string &name) const;
 
+    /**
+     * Owner label for multi-host runs. When set, render() prefixes
+     * every name with "<scope>." and the JSON exporter stamps a
+     * "scope" field into the registry document, so registries from
+     * different hosts stay distinguishable after merging. Names used
+     * with inc()/get()/counters() are NOT prefixed — the scope is a
+     * presentation property, which keeps single-host documents (empty
+     * scope) byte-identical to the pre-scope format.
+     */
+    void setScope(std::string scope) { scope_ = std::move(scope); }
+
+    /** The owner label ("" for single-host registries). */
+    const std::string &scope() const { return scope_; }
+
     /** Render all stats as an aligned two-column table. */
     std::string render() const;
 
@@ -79,6 +93,7 @@ class StatSet
   private:
     std::map<std::string, std::uint64_t> counters_;
     std::map<std::string, double> scalars_;
+    std::string scope_;
 };
 
 } // namespace jtps

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "base/types.hh"
@@ -111,6 +112,18 @@ class TraceBuffer
         append(type, vm, arg0, arg1);
     }
 
+    /**
+     * Owner label for multi-host runs. When set, the JSON exporter
+     * stamps a "scope" field into the trace document so per-host
+     * streams stay distinguishable after merging; "" (the default)
+     * keeps single-host trace documents byte-identical to the
+     * pre-scope format. Events themselves are unchanged.
+     */
+    void setScope(std::string scope) { scope_ = std::move(scope); }
+
+    /** The owner label ("" for single-host traces). */
+    const std::string &scope() const { return scope_; }
+
     /** All recorded events, in record order (== time order). */
     const std::vector<TraceEvent> &events() const { return events_; }
 
@@ -131,6 +144,7 @@ class TraceBuffer
     std::size_t capacity_ = 0;
     std::uint64_t dropped_ = 0;
     std::function<Tick()> clock_;
+    std::string scope_;
     std::vector<TraceEvent> events_;
 };
 

@@ -19,10 +19,27 @@ BalloonGovernor::BalloonGovernor(std::vector<guest::GuestOs *> guests,
     vm_state_.resize(guests_.size());
 }
 
+void
+BalloonGovernor::dropGuest(VmId vm)
+{
+    jtps_assert(vm < guests_.size());
+    guests_[vm] = nullptr;
+    vm_state_[vm] = {};
+}
+
+void
+BalloonGovernor::addGuest(guest::GuestOs *guest)
+{
+    jtps_assert(guest != nullptr);
+    guests_.push_back(guest);
+    vm_state_.emplace_back();
+}
+
 std::uint64_t
 BalloonGovernor::targetPages(VmId vm) const
 {
     jtps_assert(vm < guests_.size());
+    jtps_assert(guests_[vm] != nullptr);
     const std::uint64_t guest_pages = guests_[vm]->guestPages();
     const std::uint64_t keep = wss_.wssPages(vm) + cfg_.slackPages +
                                vm_state_[vm].extraSlackPages;
@@ -41,6 +58,8 @@ BalloonGovernor::step()
     std::uint64_t total_target = 0;
     std::uint64_t total_held = 0;
     for (VmId vm = 0; vm < guests_.size(); ++vm) {
+        if (guests_[vm] == nullptr)
+            continue; // retired mid-run (dropGuest)
         guest::GuestOs &os = *guests_[vm];
         VmState &st = vm_state_[vm];
 

@@ -97,6 +97,15 @@ class BalloonGovernor
     /** Stop the loop at the next firing. */
     void detach() { attached_ = false; }
 
+    /**
+     * Stop managing VM @p vm (it was retired/migrated away). Its slot
+     * stays so indices keep matching VM ids; step() skips it.
+     */
+    void dropGuest(VmId vm);
+
+    /** Start managing a guest added mid-run (at the next VM id). */
+    void addGuest(guest::GuestOs *guest);
+
     /** Balloon resize actions taken so far (inflations + deflations). */
     std::uint64_t resizes() const { return resizes_; }
 

@@ -10,13 +10,19 @@
  * the copied shared-class-cache archive, benchmark payloads), each
  * with its shareable size. Two VMs' expected sharing is the overlap of
  * their fingerprints, and a greedy planner packs hosts to maximize it.
+ *
+ * Fingerprints are sorted flat (tag, bytes) vectors, not maps: every
+ * overlap/gain query is a sort-merge walk, which is what keeps the
+ * greedy planner usable at fleet sizes (256+ VMs — the cluster layer
+ * plans whole datacenters; see BM_PlacementPlan in
+ * bench_micro_components).
  */
 
 #ifndef JTPS_CORE_PLACEMENT_HH
 #define JTPS_CORE_PLACEMENT_HH
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "base/units.hh"
@@ -28,8 +34,12 @@ namespace jtps::core
 /** Shareable-content fingerprint of one guest VM. */
 struct SharingFingerprint
 {
-    /** content tag -> shareable bytes behind that tag. */
-    std::map<std::uint64_t, Bytes> components;
+    /**
+     * (content tag, shareable bytes) pairs, sorted ascending by tag
+     * with unique tags — the representation every query merge-walks.
+     * Mutate through setComponent() to keep the invariant.
+     */
+    std::vector<std::pair<std::uint64_t, Bytes>> components;
 
     /**
      * Build the fingerprint a guest running @p spec would expose.
@@ -38,6 +48,9 @@ struct SharingFingerprint
      */
     static SharingFingerprint forWorkload(
         const workload::WorkloadSpec &spec, bool class_sharing);
+
+    /** Insert @p tag at its sorted position, or overwrite its bytes. */
+    void setComponent(std::uint64_t tag, Bytes bytes);
 
     /** Expected bytes shareable with another VM: overlap of tags. */
     Bytes sharedWith(const SharingFingerprint &other) const;

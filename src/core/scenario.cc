@@ -1,5 +1,7 @@
 #include "core/scenario.hh"
 
+#include <iterator>
+
 #include "base/hash.hh"
 #include "base/logging.hh"
 
@@ -8,7 +10,9 @@ namespace jtps::core
 
 Scenario::Scenario(const ScenarioConfig &cfg,
                    std::vector<workload::WorkloadSpec> per_vm_workloads)
-    : cfg_(cfg), specs_(std::move(per_vm_workloads)),
+    : cfg_(cfg),
+      specs_(std::make_move_iterator(per_vm_workloads.begin()),
+             std::make_move_iterator(per_vm_workloads.end())),
       disk_(cfg.diskIops, cfg.diskLatencyMs)
 {
     jtps_assert(!specs_.empty());
@@ -21,6 +25,12 @@ Scenario::build()
 {
     jtps_assert(!built_);
     built_ = true;
+
+    // Host identity: a presentation label only. Counter names, trace
+    // payloads and all simulation state are scope-free, so a labeled
+    // host simulates byte-identically to an unlabeled one.
+    stats_.setScope(cfg_.hostLabel);
+    trace_.setScope(cfg_.hostLabel);
 
     hv::HostConfig hcfg = cfg_.host;
     if (cfg_.pmlRingSlots > 0)
@@ -49,93 +59,97 @@ Scenario::build()
         kcfg.usePml = true;
     ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, kcfg, stats_);
 
+    // Build every VM: class-set/cache artifacts first, then the guest
+    // stack. Artifact synthesis is pure construction (no hypervisor or
+    // queue state), so interleaving it per VM leaves the sequence of
+    // host-visible mutations identical to building in separate loops.
+    vm_cache_.assign(specs_.size(), nullptr);
+    active_.assign(specs_.size(), true);
+    for (std::size_t i = 0; i < specs_.size(); ++i) {
+        prepareVmArtifacts(i);
+        buildVm(i);
+    }
+}
+
+void
+Scenario::prepareVmArtifacts(std::size_t i)
+{
+    const auto &spec = specs_[i];
+
     // Synthesize each distinct program's class set once: the classes
     // are a property of the installed software, not of a VM.
-    for (const auto &spec : specs_) {
-        const std::string &key = spec.classSpec.programName;
-        if (!class_sets_.count(key)) {
-            class_sets_.emplace(key,
-                                std::make_unique<jvm::ClassSet>(
-                                    jvm::ClassSet::synthesize(
-                                        spec.classSpec)));
-        }
+    const std::string &key = spec.classSpec.programName;
+    if (!class_sets_.count(key)) {
+        class_sets_.emplace(key, std::make_unique<jvm::ClassSet>(
+                                     jvm::ClassSet::synthesize(
+                                         spec.classSpec)));
     }
 
     // Populate shared class caches. With copyCacheToAllVms (the paper's
     // §IV.C deployment) one population per middleware cache name is
     // copied everywhere; otherwise each VM populates its own cache with
     // a per-VM salt (identical classes, different layout).
-    vm_cache_.assign(specs_.size(), nullptr);
-    if (cfg_.enableClassSharing) {
-        if (cfg_.copyCacheToAllVms) {
-            std::map<std::string, const jvm::SharedClassCache *> by_name;
-            for (std::size_t i = 0; i < specs_.size(); ++i) {
-                const auto &spec = specs_[i];
-                auto it = by_name.find(spec.cacheName);
-                if (it == by_name.end()) {
-                    caches_.push_back(
-                        std::make_unique<jvm::SharedClassCache>(
-                            jvm::SharedClassCache::build(
-                                *class_sets_.at(spec.classSpec.programName),
-                                spec.cacheName, spec.sharedCacheBytes,
-                                cfg_.cacheScope)));
-                    if (cfg_.aotCacheBytes > 0) {
-                        caches_.back()->addAotSection(
-                            cfg_.aotMethodCount, cfg_.aotAvgMethodBytes,
-                            cfg_.aotCacheBytes);
-                    }
-                    it = by_name
-                             .emplace(spec.cacheName, caches_.back().get())
-                             .first;
-                }
-                vm_cache_[i] = it->second;
+    if (!cfg_.enableClassSharing)
+        return;
+    if (cfg_.copyCacheToAllVms) {
+        auto it = cache_by_name_.find(spec.cacheName);
+        if (it == cache_by_name_.end()) {
+            caches_.push_back(std::make_unique<jvm::SharedClassCache>(
+                jvm::SharedClassCache::build(
+                    *class_sets_.at(spec.classSpec.programName),
+                    spec.cacheName, spec.sharedCacheBytes,
+                    cfg_.cacheScope)));
+            if (cfg_.aotCacheBytes > 0) {
+                caches_.back()->addAotSection(cfg_.aotMethodCount,
+                                              cfg_.aotAvgMethodBytes,
+                                              cfg_.aotCacheBytes);
             }
-        } else {
-            for (std::size_t i = 0; i < specs_.size(); ++i) {
-                const auto &spec = specs_[i];
-                caches_.push_back(
-                    std::make_unique<jvm::SharedClassCache>(
-                        jvm::SharedClassCache::build(
-                            *class_sets_.at(spec.classSpec.programName),
-                            spec.cacheName, spec.sharedCacheBytes,
-                            cfg_.cacheScope,
-                            /*population_salt=*/i + 1)));
-                vm_cache_[i] = caches_.back().get();
-            }
+            it = cache_by_name_
+                     .emplace(spec.cacheName, caches_.back().get())
+                     .first;
         }
+        vm_cache_[i] = it->second;
+    } else {
+        caches_.push_back(std::make_unique<jvm::SharedClassCache>(
+            jvm::SharedClassCache::build(
+                *class_sets_.at(spec.classSpec.programName),
+                spec.cacheName, spec.sharedCacheBytes, cfg_.cacheScope,
+                /*population_salt=*/i + 1)));
+        vm_cache_[i] = caches_.back().get();
+    }
+}
+
+void
+Scenario::buildVm(std::size_t i)
+{
+    // Guest: create the VM, boot the kernel, start daemons, start WAS.
+    const auto &spec = specs_[i];
+    const std::string vm_name = "VM" + std::to_string(i + 1);
+    const VmId vm_id = hv_->createVm(vm_name, spec.guestMemBytes,
+                                     cfg_.vmOverheadBytes);
+    jtps_assert(vm_id == i);
+
+    guests_.push_back(std::make_unique<guest::GuestOs>(
+        *hv_, vm_id, vm_name, hash3(cfg_.seed, stringTag("guest"), i)));
+    guest::GuestOs &os = *guests_.back();
+    os.setThpEnabled(cfg_.guestThp);
+    os.bootKernel(cfg_.kernel);
+
+    if (cfg_.spawnDaemons) {
+        os.spawnDaemon("sshd", 2 * MiB, 1536 * KiB);
+        os.spawnDaemon("syslogd", 1 * MiB, 512 * KiB);
+        os.spawnDaemon("crond", 1 * MiB, 512 * KiB);
+        os.spawnDaemon("snmpd", 2 * MiB, 1 * MiB);
     }
 
-    // Guests: create the VM, boot the kernel, start daemons, start WAS.
-    for (std::size_t i = 0; i < specs_.size(); ++i) {
-        const auto &spec = specs_[i];
-        const std::string vm_name = "VM" + std::to_string(i + 1);
-        const VmId vm_id = hv_->createVm(vm_name, spec.guestMemBytes,
-                                         cfg_.vmOverheadBytes);
-        jtps_assert(vm_id == i);
+    jvm::JavaVmConfig jcfg = workload::makeJvmConfig(
+        spec, *class_sets_.at(spec.classSpec.programName), vm_cache_[i]);
+    jvms_.push_back(
+        std::make_unique<jvm::JavaVm>(os, jcfg, "was-server"));
+    jvms_.back()->start();
 
-        guests_.push_back(std::make_unique<guest::GuestOs>(
-            *hv_, vm_id, vm_name, hash3(cfg_.seed, stringTag("guest"), i)));
-        guest::GuestOs &os = *guests_.back();
-        os.setThpEnabled(cfg_.guestThp);
-        os.bootKernel(cfg_.kernel);
-
-        if (cfg_.spawnDaemons) {
-            os.spawnDaemon("sshd", 2 * MiB, 1536 * KiB);
-            os.spawnDaemon("syslogd", 1 * MiB, 512 * KiB);
-            os.spawnDaemon("crond", 1 * MiB, 512 * KiB);
-            os.spawnDaemon("snmpd", 2 * MiB, 1 * MiB);
-        }
-
-        jvm::JavaVmConfig jcfg = workload::makeJvmConfig(
-            spec, *class_sets_.at(spec.classSpec.programName),
-            vm_cache_[i]);
-        jvms_.push_back(
-            std::make_unique<jvm::JavaVm>(os, jcfg, "was-server"));
-        jvms_.back()->start();
-
-        drivers_.push_back(std::make_unique<workload::ClientDriver>(
-            *jvms_.back(), specs_[i], disk_));
-    }
+    drivers_.push_back(std::make_unique<workload::ClientDriver>(
+        *jvms_.back(), specs_[i], disk_));
 }
 
 analysis::SharingMonitor &
@@ -182,16 +196,31 @@ Scenario::scheduleEpochs()
         governor_->attach(queue_);
     }
 
+    scheduleEpochBlock();
+}
+
+void
+Scenario::scheduleEpochBlock()
+{
+    // Every event captures the generation it was scheduled under and
+    // cancels itself when it wakes stale (see epoch_gen_). retireVm/
+    // addVm bump the generation and re-call this to reshape the block.
+    const std::uint64_t gen = epoch_gen_;
+
     if (cfg_.guestThreads == 0) {
         // Legacy direct execution: one serial event runs every VM's
         // epoch straight through the hypervisor. Reference mode for
         // the staged-equivalence fuzzes.
-        queue_.schedulePeriodic(cfg_.epochMs, [this]() {
+        queue_.schedulePeriodic(cfg_.epochMs, [this, gen]() {
+            if (gen != epoch_gen_)
+                return false;
             disk_.beginEpoch(cfg_.epochMs);
-            std::vector<workload::ClientDriver::EpochResult> results;
-            results.reserve(drivers_.size());
-            for (auto &driver : drivers_)
-                results.push_back(driver->runEpoch(cfg_.epochMs));
+            std::vector<workload::ClientDriver::EpochResult> results(
+                drivers_.size());
+            for (std::size_t i = 0; i < drivers_.size(); ++i) {
+                if (active_[i])
+                    results[i] = drivers_[i]->runEpoch(cfg_.epochMs);
+            }
             disk_.endEpoch();
             epoch_history_.push_back(std::move(results));
             return true;
@@ -206,15 +235,21 @@ Scenario::scheduleEpochs()
     // event (KSM scan, monitor samples) that lands on the same tick
     // sorts entirely before or after the epoch block, exactly as it
     // did relative to the legacy single event.
-    queue_.schedulePeriodic(cfg_.epochMs, [this]() {
+    queue_.schedulePeriodic(cfg_.epochMs, [this, gen]() {
+        if (gen != epoch_gen_)
+            return false;
         disk_.beginEpoch(cfg_.epochMs);
         epoch_current_.assign(drivers_.size(), {});
         return true;
     });
     intent_logs_.resize(drivers_.size());
-    for (std::size_t i = 0; i < drivers_.size(); ++i)
-        scheduleStagedVm(i);
-    queue_.schedulePeriodic(cfg_.epochMs, [this]() {
+    for (std::size_t i = 0; i < drivers_.size(); ++i) {
+        if (active_[i])
+            scheduleStagedVm(i, gen);
+    }
+    queue_.schedulePeriodic(cfg_.epochMs, [this, gen]() {
+        if (gen != epoch_gen_)
+            return false;
         disk_.endEpoch();
         epoch_history_.push_back(epoch_current_);
         return true;
@@ -222,17 +257,26 @@ Scenario::scheduleEpochs()
 }
 
 void
-Scenario::scheduleStagedVm(std::size_t i)
+Scenario::scheduleStagedVm(std::size_t i, std::uint64_t gen)
 {
     queue_.scheduleOwnedAt(
         queue_.now() + cfg_.epochMs, i,
         /*stage=*/
-        [this, i]() {
+        [this, i, gen]() {
+            if (gen != epoch_gen_ || !active_[i])
+                return false;
             return drivers_[i]->stageEpoch(cfg_.epochMs,
                                            intent_logs_[i]);
         },
         /*commit=*/
-        [this, i](bool staged) {
+        [this, i, gen](bool staged) {
+            if (gen != epoch_gen_ || !active_[i]) {
+                // Stale copy from before a retire/add, or the VM
+                // itself was retired: die without rescheduling (and
+                // without counting a fallback — nothing ran).
+                intent_logs_[i].clear();
+                return;
+            }
             if (staged) {
                 ++*guest_shards_;
                 *intent_commits_ += intent_logs_[i].size();
@@ -247,8 +291,52 @@ Scenario::scheduleStagedVm(std::size_t i)
                 ++*stage_fallbacks_;
                 epoch_current_[i] = drivers_[i]->runEpoch(cfg_.epochMs);
             }
-            scheduleStagedVm(i);
+            scheduleStagedVm(i, gen);
         });
+}
+
+void
+Scenario::retireVm(std::size_t i)
+{
+    jtps_assert(built_);
+    jtps_assert(i < guests_.size());
+    jtps_assert(active_[i]);
+    active_[i] = false;
+    if (governor_)
+        governor_->dropGuest(static_cast<VmId>(i));
+    hv_->releaseVmMemory(static_cast<VmId>(i));
+    if (epochs_scheduled_) {
+        ++epoch_gen_;
+        scheduleEpochBlock();
+    }
+}
+
+std::size_t
+Scenario::addVm(const workload::WorkloadSpec &spec)
+{
+    jtps_assert(built_);
+    const std::size_t i = specs_.size();
+    specs_.push_back(spec);
+    vm_cache_.push_back(nullptr);
+    active_.push_back(true);
+    prepareVmArtifacts(i);
+    buildVm(i);
+    if (governor_)
+        governor_->addGuest(guests_.back().get());
+    if (epochs_scheduled_) {
+        ++epoch_gen_;
+        scheduleEpochBlock();
+    }
+    return i;
+}
+
+std::size_t
+Scenario::activeVmCount() const
+{
+    std::size_t n = 0;
+    for (bool a : active_)
+        n += a ? 1 : 0;
+    return n;
 }
 
 void

@@ -25,6 +25,7 @@
 #ifndef JTPS_CORE_SCENARIO_HH
 #define JTPS_CORE_SCENARIO_HH
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -65,6 +66,16 @@ struct ScenarioConfig
     Tick epochMs = 2'000;    //!< driver epoch length
 
     std::uint64_t seed = 42;
+
+    /**
+     * Host identity stamped into this scenario's run documents: the
+     * StatSet scope and the trace stream's scope label. Multi-host
+     * runs (the cluster layer) set one label per host so merged
+     * registries and traces stay distinguishable; "" (the default)
+     * keeps single-host documents byte-identical to the unlabeled
+     * format.
+     */
+    std::string hostLabel;
 
     /** Enable the paper's technique (class sharing + copied cache). */
     bool enableClassSharing = false;
@@ -193,6 +204,35 @@ class Scenario
     void runFor(Tick ms);
 
     // ------------------------------------------------------------------
+    // VM lifecycle (live migration support, cluster layer)
+    // ------------------------------------------------------------------
+
+    /**
+     * Retire VM @p i mid-run: its driver stops at the next epoch
+     * boundary and every page it owns — guest memory and VM-process
+     * overhead — is released (hv::Hypervisor::releaseVmMemory). The
+     * guest/JVM/driver objects stay so ids and names remain dense;
+     * vmActive(i) turns false and the VM's later epoch rows read as
+     * all-zero. Call between runFor() slices (not from inside an
+     * event). This is the source half of a migration or a poweroff.
+     */
+    void retireVm(std::size_t i);
+
+    /**
+     * Build, boot and start driving a new VM mid-run (the destination
+     * half of a migration): full guest + JVM + driver construction,
+     * class-set/cache wiring included, at the next free VM id. Call
+     * between runFor() slices. @return the new VM's index.
+     */
+    std::size_t addVm(const workload::WorkloadSpec &spec);
+
+    /** False once retireVm(i) ran. */
+    bool vmActive(std::size_t i) const { return active_[i]; }
+
+    /** VMs not yet retired. */
+    std::size_t activeVmCount() const;
+
+    // ------------------------------------------------------------------
     // Measurement
     // ------------------------------------------------------------------
 
@@ -220,6 +260,22 @@ class Scenario
 
     /** Per-VM average response time over recent epochs. */
     std::vector<double> perVmResponseMs(std::size_t epochs = 5) const;
+
+    /** One row per completed epoch, one EpochResult per VM (retired
+     *  VMs read all-zero). The cluster layer consumes new rows after
+     *  each round for its fleet-level SLA accounting. */
+    const std::vector<std::vector<workload::ClientDriver::EpochResult>> &
+    epochHistory() const
+    {
+        return epoch_history_;
+    }
+
+    /** The workload spec VM @p i was built from. */
+    const workload::WorkloadSpec &
+    workloadSpec(std::size_t i) const
+    {
+        return specs_[i];
+    }
 
     // ------------------------------------------------------------------
     // Component access
@@ -267,10 +323,15 @@ class Scenario
 
   private:
     void scheduleEpochs();
-    void scheduleStagedVm(std::size_t i);
+    void scheduleEpochBlock();
+    void scheduleStagedVm(std::size_t i, std::uint64_t gen);
+    void prepareVmArtifacts(std::size_t i);
+    void buildVm(std::size_t i);
 
     ScenarioConfig cfg_;
-    std::vector<workload::WorkloadSpec> specs_;
+    /** Deque, not vector: ClientDriver keeps a reference to its spec,
+     *  and addVm() must not invalidate it. */
+    std::deque<workload::WorkloadSpec> specs_;
 
     StatSet stats_;
     TraceBuffer trace_;
@@ -291,6 +352,8 @@ class Scenario
     /** Cache per (middleware cache name [, vm]) depending on copy mode. */
     std::vector<std::unique_ptr<jvm::SharedClassCache>> caches_;
     std::vector<const jvm::SharedClassCache *> vm_cache_;
+    /** Copy-mode cache lookup (one population per cache name). */
+    std::map<std::string, const jvm::SharedClassCache *> cache_by_name_;
 
     /** Per-epoch per-VM results, appended as epochs run. */
     std::vector<std::vector<workload::ClientDriver::EpochResult>>
@@ -303,6 +366,22 @@ class Scenario
     std::uint64_t *guest_shards_ = nullptr;
     std::uint64_t *intent_commits_ = nullptr;
     std::uint64_t *stage_fallbacks_ = nullptr;
+    /** Per-VM liveness (retireVm clears; epoch events skip inactive). */
+    std::vector<bool> active_;
+    /**
+     * Epoch-schedule generation. retireVm()/addVm() change the VM
+     * population, which must reshape the per-tick epoch block (begin
+     * event, one owned event per active VM, end event) while copies of
+     * the old block are already queued for the next tick. Instead of
+     * hunting those down, the generation is bumped and a whole new
+     * block scheduled: every epoch event captured its generation at
+     * scheduling and cancels itself (periodic returns false, owned
+     * stage/commit no-op without rescheduling) when it wakes stale.
+     * Stale events carry lower sequence numbers, so within the
+     * switch-over tick they die first and the new block still runs in
+     * canonical begin -> VMs -> end order.
+     */
+    std::uint64_t epoch_gen_ = 0;
     bool built_ = false;
     bool epochs_scheduled_ = false;
 };

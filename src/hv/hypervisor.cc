@@ -30,6 +30,9 @@ Hypervisor::Hypervisor(const HostConfig &cfg, StatSet &stats)
       stat_pml_appends_(stats.counter("hv.pml_appends")),
       stat_pml_overflows_(stats.counter("hv.pml_overflows"))
 {
+    // Registered at zero so every registry carries the counter whether
+    // or not a run ever retires a VM (docs/METRICS.md contract).
+    stats_.counter("hv.vms_released");
 }
 
 void
@@ -375,6 +378,25 @@ Hypervisor::discardPage(VmId vm_id, Gfn gfn)
     // tell subscribers so externally-held per-page state dies with it.
     for (PageEventListener *l : page_listeners_)
         l->pageDiscarded(vm_id, gfn);
+}
+
+void
+Hypervisor::releaseVmMemory(VmId vm_id)
+{
+    Vm &v = vm(vm_id);
+    // Guest memory through the discard path: shared frames lose one
+    // mapping (other VMs keep the content), private frames free, swap
+    // slots drop, and the page listeners invalidate their caches —
+    // the identical bookkeeping a guest-initiated free would run.
+    for (Gfn g = 0; g < v.ept.size(); ++g)
+        discardPage(vm_id, g);
+    jtps_assert(v.residentPages == 0 && v.swappedPages == 0);
+    for (Hfn hfn : v.overheadFrames)
+        frames_.freePinned(hfn);
+    v.overheadFrames.clear();
+    v.pmlRing.clear();
+    v.pmlOverflow = false;
+    stats_.inc("hv.vms_released");
 }
 
 void

@@ -197,6 +197,18 @@ class Hypervisor
      */
     void discardPage(VmId vm, Gfn gfn);
 
+    /**
+     * Release every page of @p vm: all guest memory (resident and
+     * swapped, through the discardPage path so shared frames just
+     * lose one mapping and page listeners fire) plus the VM process's
+     * pinned overhead frames. The Vm object itself stays — VM ids are
+     * dense and stable — it merely owns no host memory afterwards.
+     * This is the teardown half of a live migration (or a poweroff):
+     * the cluster layer retires the source copy with it and rebuilds
+     * the VM on the destination host. Counted in `hv.vms_released`.
+     */
+    void releaseVmMemory(VmId vm);
+
     /** Current gfn→hfn translation; invalidFrame unless Resident. */
     Hfn translate(VmId vm, Gfn gfn) const;
 

@@ -22,6 +22,7 @@
 #include "analysis/json_export.hh"
 #include "analysis/sharing_sources.hh"
 #include "analysis/smaps.hh"
+#include "cluster/cluster.hh"
 #include "core/scenario.hh"
 #include "guest/balloon.hh"
 #include "ksm/ksm_tuned.hh"
@@ -55,6 +56,12 @@ struct Options
     unsigned analysisThreads = 1;
     unsigned ksmThreads = 1;
     unsigned guestThreads = 1;
+    // Cluster mode (--hosts > 0 switches from one Scenario to a fleet).
+    int hosts = 0;
+    int perHost = 4;
+    std::string placement = "rr";
+    unsigned fleetThreads = 1;
+    bool migrate = false;
 };
 
 const char *const knownReports[] = {"breakdown", "java",       "sources",
@@ -95,7 +102,15 @@ usage(const char *argv0)
         "  --ksm-threads N  classify KSM scan batches on N threads\n"
         "                  (merges/counters identical at any N)\n"
         "  --guest-threads N  stage guest-mutator epochs on N threads\n"
-        "                  (counters/traces identical at any N)\n",
+        "                  (counters/traces identical at any N)\n"
+        "cluster mode (fleet of independent hosts):\n"
+        "  --hosts H       simulate H hosts (0 = single-host mode);\n"
+        "                  --workload mix cycles all four workloads\n"
+        "  --per-host N    VM slots per host (default 4, fleet = H*N)\n"
+        "  --placement P   rr | random | dedup (sharing-aware packer)\n"
+        "  --fleet-threads N  run hosts' rounds on N threads (cluster\n"
+        "                  output is byte-identical at any N)\n"
+        "  --migrate       live-migrate VMs off pressured hosts\n",
         argv0);
     std::exit(2);
 }
@@ -159,6 +174,17 @@ parse(int argc, char **argv)
         else if (arg == "--guest-threads")
             opt.guestThreads =
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (arg == "--hosts")
+            opt.hosts = std::atoi(need(i));
+        else if (arg == "--per-host")
+            opt.perHost = std::atoi(need(i));
+        else if (arg == "--placement")
+            opt.placement = need(i);
+        else if (arg == "--fleet-threads")
+            opt.fleetThreads =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (arg == "--migrate")
+            opt.migrate = true;
         else
             usage(argv[0]);
     }
@@ -166,6 +192,15 @@ parse(int argc, char **argv)
         fatal("--vms must be in [1, 32]");
     if (opt.adaptiveBalloon && opt.pmlRingSlots == 0)
         fatal("--adaptive-balloon requires --pml-ring N");
+    if (opt.hosts < 0 || opt.hosts > 64)
+        fatal("--hosts must be in [0, 64]");
+    if (opt.hosts > 0 && (opt.perHost < 1 || opt.perHost > 32))
+        fatal("--per-host must be in [1, 32]");
+    if (opt.placement != "rr" && opt.placement != "random" &&
+        opt.placement != "dedup")
+        fatal("unknown --placement '%s'", opt.placement.c_str());
+    if (opt.hosts == 0 && opt.migrate)
+        fatal("--migrate requires cluster mode (--hosts H)");
 
     // Reject unknown report views up front instead of silently printing
     // nothing after a long run.
@@ -293,6 +328,168 @@ traceDocumentJson(core::Scenario &scenario)
     return w.str();
 }
 
+/**
+ * The fleet's VM specs: --workload mix cycles all four paper
+ * workloads; any single workload name repeats it.
+ */
+std::vector<workload::WorkloadSpec>
+fleetWorkloads(const Options &opt, std::size_t count)
+{
+    std::vector<workload::WorkloadSpec> specs;
+    specs.reserve(count);
+    if (opt.workload == "mix") {
+        const workload::WorkloadSpec cycle[] = {
+            workload::dayTraderIntel(), workload::specjEnterprise2010(),
+            workload::tpcwJava(), workload::tuscanyBigbank()};
+        for (std::size_t l = 0; l < count; ++l) {
+            specs.push_back(cycle[l % 4]);
+            specs.back().useAotCache = opt.aotBytes > 0;
+        }
+    } else {
+        specs.assign(count, pickWorkload(opt));
+    }
+    return specs;
+}
+
+cluster::PlacementPolicy
+parsePlacement(const std::string &name)
+{
+    if (name == "random")
+        return cluster::PlacementPolicy::Random;
+    if (name == "dedup")
+        return cluster::PlacementPolicy::DedupAware;
+    return cluster::PlacementPolicy::RoundRobin;
+}
+
+/** The cluster --json document (docs/METRICS.md, cluster section). */
+std::string
+clusterDocumentJson(const Options &opt, cluster::Cluster &fleet,
+                    Tick warmup_ms, Tick steady_ms, Tick round_ms)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", analysis::jsonSchemaVersion);
+
+    w.key("run").beginObject();
+    w.field("tool", "jtps_sim");
+    w.field("workload", opt.workload);
+    w.field("hosts", opt.hosts);
+    w.field("per_host", opt.perHost);
+    w.field("vms", static_cast<std::uint64_t>(opt.hosts) *
+                       static_cast<std::uint64_t>(opt.perHost));
+    // Like the guest/ksm/analysis thread knobs, --fleet-threads is a
+    // machine-sizing setting, not part of the run's identity: documents
+    // must be byte-identical at any value, so it is not recorded.
+    w.field("placement", opt.placement);
+    w.field("migrate", opt.migrate);
+    w.field("seed", opt.seed);
+    w.field("class_sharing", opt.cds || opt.aotBytes > 0);
+    w.field("copy_cache", opt.copyCache);
+    w.field("pml_ring", opt.pmlRingSlots);
+    w.field("adaptive_balloon", opt.adaptiveBalloon);
+    w.field("host_ram_bytes", opt.hostRam);
+    w.field("warmup_ms", warmup_ms);
+    w.field("steady_ms", steady_ms);
+    w.field("round_ms", round_ms);
+    w.field("sim_end_ms", fleet.now());
+    w.endObject();
+
+    w.field("aggregate_rq_s", fleet.aggregateThroughput(10));
+    fleet.writeJsonFields(w);
+
+    w.endObject();
+    return w.str();
+}
+
+/** The cluster --trace FILE document: one stream per host. */
+std::string
+clusterTraceJson(cluster::Cluster &fleet)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", analysis::jsonSchemaVersion);
+    w.key("hosts").beginArray();
+    for (std::size_t h = 0; h < fleet.hostCount(); ++h) {
+        w.beginObject();
+        w.field("label", fleet.host(h).stats().scope());
+        w.key("trace");
+        analysis::writeTraceJson(w, fleet.host(h).trace());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+/** Fleet mode: build the cluster, run warm-up + steady, report. */
+int
+clusterMain(const Options &opt, const core::ScenarioConfig &host_cfg)
+{
+    cluster::ClusterConfig ccfg;
+    ccfg.hosts = static_cast<std::size_t>(opt.hosts);
+    // The fleet boots fully packed at --per-host VMs per host; with
+    // migration enabled each host keeps one spare slot so a pressured
+    // host always has somewhere to shed to.
+    ccfg.slotsPerHost =
+        static_cast<std::size_t>(opt.perHost) + (opt.migrate ? 1 : 0);
+    ccfg.host = host_cfg;
+    ccfg.placement = parsePlacement(opt.placement);
+    ccfg.fleetThreads = opt.fleetThreads == 0 ? 1 : opt.fleetThreads;
+    ccfg.seed = opt.seed;
+    ccfg.migrationEnabled = opt.migrate;
+    ccfg.roundMs = 4 * host_cfg.epochMs;
+    // Keep the per-VM demand share constant across fleet sizes: the
+    // reference fleet is 256 VMs serving a million users, and a
+    // smaller --hosts run serves a proportional slice of them.
+    ccfg.peakUsers = 1'000'000.0 *
+                     static_cast<double>(ccfg.hosts * ccfg.slotsPerHost) /
+                     256.0;
+
+    // Cluster time advances in whole rounds: round the phases up.
+    auto round_up = [&](Tick t) {
+        return ((t + ccfg.roundMs - 1) / ccfg.roundMs) * ccfg.roundMs;
+    };
+    const Tick warmup = round_up(opt.warmupMs);
+    const Tick steady = round_up(opt.steadyMs);
+    ccfg.host.warmupMs = warmup;
+
+    cluster::Cluster fleet(
+        ccfg, fleetWorkloads(opt, ccfg.hosts *
+                                      static_cast<std::size_t>(opt.perHost)));
+    fleet.build();
+    if (!opt.traceFile.empty()) {
+        for (std::size_t h = 0; h < fleet.hostCount(); ++h)
+            fleet.host(h).trace().enable();
+    }
+
+    fleet.run(warmup + steady);
+    for (std::size_t h = 0; h < fleet.hostCount(); ++h)
+        fleet.host(h).hv().checkConsistency();
+
+    std::printf("cluster: %d hosts x %d slots, %s placement, "
+                "%s migration\n",
+                opt.hosts, opt.perHost, opt.placement.c_str(),
+                opt.migrate ? "with" : "no");
+    for (std::size_t h = 0; h < fleet.hostCount(); ++h) {
+        core::Scenario &host = fleet.host(h);
+        std::printf("%s: %zu VMs, %.1f rq/s, sharing %llu pages, "
+                    "resident %s MiB\n",
+                    host.stats().scope().c_str(), host.activeVmCount(),
+                    host.aggregateThroughput(),
+                    (unsigned long long)host.ksm().pagesSharing(),
+                    formatMiB(host.hv().residentBytes()).c_str());
+    }
+    std::printf("%s\n", fleet.stats().render().c_str());
+
+    if (!opt.jsonFile.empty())
+        writeFileOrDie(opt.jsonFile,
+                       clusterDocumentJson(opt, fleet, warmup, steady,
+                                           ccfg.roundMs));
+    if (!opt.traceFile.empty())
+        writeFileOrDie(opt.traceFile, clusterTraceJson(fleet));
+    return 0;
+}
+
 } // namespace
 
 int
@@ -317,6 +514,9 @@ main(int argc, char **argv)
     cfg.guestThreads = opt.guestThreads == 0 ? 1 : opt.guestThreads;
     cfg.pmlRingSlots = opt.pmlRingSlots;
     cfg.adaptiveBalloon = opt.adaptiveBalloon;
+
+    if (opt.hosts > 0)
+        return clusterMain(opt, cfg);
 
     std::vector<workload::WorkloadSpec> vms(
         static_cast<std::size_t>(opt.vms), pickWorkload(opt));
