@@ -55,6 +55,7 @@ Scenario::build()
     hv_->setTrace(&trace_);
     ksm::KsmConfig kcfg = cfg_.ksm;
     kcfg.scanThreads = cfg_.ksmScanThreads;
+    kcfg.commitShards = cfg_.ksmCommitShards;
     if (cfg_.pmlRingSlots > 0)
         kcfg.usePml = true;
     ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, kcfg, stats_);

@@ -129,6 +129,17 @@ struct ScenarioConfig
     unsigned ksmScanThreads = 1;
 
     /**
+     * Digest shards for the KSM commit phase (overrides
+     * ksm.commitShards at build()). >= 2 partitions the merge indexes
+     * by digest and commits each batch as that many independent shard
+     * jobs plus a serial reduce (ksm::KsmConfig::commitShards) —
+     * another machine-sizing knob: results are byte-identical at any
+     * value, only `ksm.commit_shards` / `ksm.shard_imbalance_max`
+     * move. Must divide 64; ignored under PML mode.
+     */
+    unsigned ksmCommitShards = 1;
+
+    /**
      * Per-VM Page-Modification-Log ring size in slots (see
      * hv::HostConfig::pmlRingSlots). Non-zero overrides host.pmlRingSlots
      * AND switches the KSM scanner to its log-driven pass mode

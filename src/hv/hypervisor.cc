@@ -30,9 +30,10 @@ Hypervisor::Hypervisor(const HostConfig &cfg, StatSet &stats)
       stat_pml_appends_(stats.counter("hv.pml_appends")),
       stat_pml_overflows_(stats.counter("hv.pml_overflows"))
 {
-    // Registered at zero so every registry carries the counter whether
+    // Registered at zero so every registry carries the counters whether
     // or not a run ever retires a VM (docs/METRICS.md contract).
     stats_.counter("hv.vms_released");
+    stats_.counter("hv.ept_slabs_reused");
 }
 
 void
@@ -47,8 +48,14 @@ Hypervisor::createVm(const std::string &name, Bytes guest_mem,
                      Bytes overhead)
 {
     VmId id = static_cast<VmId>(vms_.size());
-    vms_.push_back(
-        std::make_unique<Vm>(id, name, bytesToPages(guest_mem)));
+    std::vector<EptEntry> slab;
+    if (!ept_slab_pool_.empty()) {
+        slab = std::move(ept_slab_pool_.back());
+        ept_slab_pool_.pop_back();
+        stats_.inc("hv.ept_slabs_reused");
+    }
+    vms_.push_back(std::make_unique<Vm>(
+        id, name, bytesToPages(guest_mem), std::move(slab)));
     Vm &v = *vms_.back();
     v.pmlRing.reserve(pml_ring_slots_);
 
@@ -394,8 +401,13 @@ Hypervisor::releaseVmMemory(VmId vm_id)
     for (Hfn hfn : v.overheadFrames)
         frames_.freePinned(hfn);
     v.overheadFrames.clear();
+    v.hugePages.clear();
     v.pmlRing.clear();
     v.pmlOverflow = false;
+    // Bank the EPT slab for the next createVm(); the retired VM keeps a
+    // zero-sized EPT, which every consumer already handles (the KSM
+    // cursor skips it, walks bound themselves by ept.size()).
+    ept_slab_pool_.push_back(v.ept.releaseSlab());
     stats_.inc("hv.vms_released");
 }
 
@@ -425,7 +437,14 @@ Hypervisor::translate(VmId vm_id, Gfn gfn) const
 const mem::PageData *
 Hypervisor::peek(VmId vm_id, Gfn gfn) const
 {
-    const EptEntry &e = vm(vm_id).ept.entry(gfn);
+    const Vm &v = vm(vm_id);
+    // A retired VM's EPT is zero-sized (its slab went back to the
+    // pool); before slab recycling these entries read as NotPresent,
+    // and callers holding stale coordinates — KSM's persistent
+    // unstable entries outlive VM retirement — still expect that.
+    if (gfn >= v.ept.size())
+        return nullptr;
+    const EptEntry &e = v.ept.entry(gfn);
     if (e.state != PageState::Resident)
         return nullptr;
     return &frames_.frame(e.backing).data;
@@ -504,6 +523,69 @@ Hypervisor::ksmMakeStable(VmId vm_id, Gfn gfn)
     jtps_assert(!f.pinned);
     frames_.setKsmStable(e.backing, true);
     // Write-protect every mapping of the frame so any write COWs.
+    f.forEachMapping([this](const mem::Mapping &m) {
+        vm(m.vm).ept.entry(m.gfn).writeProtected = true;
+    });
+    return e.backing;
+}
+
+bool
+Hypervisor::ksmMergeIntoShard(Hfn stable, VmId vm_id, Gfn gfn,
+                              bool *freed_source, Hfn *source)
+{
+    *freed_source = false;
+    *source = invalidFrame;
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+    if (e.state != PageState::Resident)
+        return false;
+    if (e.backing == stable)
+        return false;
+    if (!frames_.isAllocated(stable))
+        return false;
+
+    mem::Frame &sf = frames_.frame(stable);
+    mem::Frame &of = frames_.frame(e.backing);
+    if (!(sf.data == of.data))
+        return false;
+    jtps_assert(sf.ksmStable && !sf.pinned);
+
+    const mem::Mapping m{vm_id, gfn};
+    *source = e.backing;
+    *freed_source = frames_.removeMappingShard(e.backing, m);
+    frames_.addMappingShard(stable, m);
+    e.backing = stable;
+    e.writeProtected = true;
+    // touch(stable), hv.ksm_merges and the sharing counters run at the
+    // serial reduce, in canonical order.
+    return true;
+}
+
+Hfn
+Hypervisor::ksmMakeStableShard(VmId vm_id, Gfn gfn, std::uint64_t digest,
+                               unsigned lane, bool *transitioned,
+                               std::uint32_t *refcount_at_set)
+{
+    *transitioned = false;
+    *refcount_at_set = 0;
+    Vm &v = vm(vm_id);
+    EptEntry &e = v.ept.entry(gfn);
+    if (e.state != PageState::Resident)
+        return invalidFrame;
+
+    mem::Frame &f = frames_.frame(e.backing);
+    jtps_assert(!f.pinned);
+    if (!f.ksmStable) {
+        // Real transition (the serial setKsmStable() would no-op on an
+        // already-stable frame): shard-side flag/epoch/generation now,
+        // counters at the reduce via the recorded refcount.
+        *transitioned = true;
+        *refcount_at_set = f.refcount;
+        frames_.setKsmStableShard(e.backing, digest, lane);
+    }
+    // Write-protect every mapping of the frame so any write COWs. The
+    // mapped pages hold this frame's content, so they are all in the
+    // caller's digest shard.
     f.forEachMapping([this](const mem::Mapping &m) {
         vm(m.vm).ept.entry(m.gfn).writeProtected = true;
     });

@@ -129,8 +129,10 @@ struct Vm
      *  cycle) — the working-set estimator's raw signal. */
     std::uint64_t pmlAppendsTotal = 0;
 
-    Vm(VmId id, std::string name, std::uint64_t guest_frames)
-        : id(id), name(std::move(name)), ept(guest_frames)
+    Vm(VmId id, std::string name, std::uint64_t guest_frames,
+       std::vector<EptEntry> &&ept_slab = {})
+        : id(id), name(std::move(name)),
+          ept(guest_frames, std::move(ept_slab))
     {
     }
 };
@@ -238,6 +240,33 @@ class Hypervisor
      * @return the frame number, or invalidFrame if not resident.
      */
     Hfn ksmMakeStable(VmId vm, Gfn gfn);
+
+    /**
+     * ksmMergeInto() restricted to what a KSM commit shard may mutate
+     * (see mem::FrameTable's commit-shard protocol): the page's EPT
+     * entry and the two frames' own fields. Digest-sharding makes every
+     * touched structure shard-local — the source frame holds the same
+     * content as @p stable, so both frames, and every page mapping
+     * them, belong to the caller's digest shard. The frame touch, the
+     * hv.ksm_merges stat and the sharing counters are deferred to the
+     * serial reduce; @p freed_source / @p source report whether (and
+     * which) source frame became a deferred-free zombie so the reduce
+     * can retire it in canonical order.
+     */
+    bool ksmMergeIntoShard(Hfn stable, VmId vm, Gfn gfn,
+                           bool *freed_source, Hfn *source);
+
+    /**
+     * ksmMakeStable() restricted to a KSM commit shard. @p digest must
+     * be the page content's digest (it selects the epoch stripe) and
+     * @p lane the shard's generation lane. Mirrors the serial call's
+     * already-stable no-op; on a real transition, @p transitioned is
+     * set and @p refcount_at_set records the refcount the counters-side
+     * completion (FrameTable::commitStablePromote at the reduce) needs.
+     */
+    Hfn ksmMakeStableShard(VmId vm, Gfn gfn, std::uint64_t digest,
+                           unsigned lane, bool *transitioned,
+                           std::uint32_t *refcount_at_set);
 
     /**
      * Run one whole-memory TPS pass immediately: merge every pair of
@@ -355,6 +384,10 @@ class Hypervisor
     mem::FrameTable frames_;
     mem::SwapDevice swap_;
     std::vector<std::unique_ptr<Vm>> vms_;
+    /** Recycled per-VM EPT slabs: releaseVmMemory() banks the retired
+     *  VM's entry storage here and createVm() reuses it, so 256-VM
+     *  churn and live migration stop hammering one allocation path. */
+    std::vector<std::vector<EptEntry>> ept_slab_pool_;
     std::vector<PageEventListener *> page_listeners_;
     /** Compressed-tier slot capacity (pool pages x compression). */
     std::uint64_t ram_slot_capacity_ = 0;

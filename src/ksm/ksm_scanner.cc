@@ -1,6 +1,9 @@
 #include "ksm/ksm_scanner.hh"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
 
 #include "base/logging.hh"
 #include "base/units.hh"
@@ -31,12 +34,20 @@ constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
 constexpr std::size_t initialUnstableCapacity = 1024;
 
+/** Monotonic now in ms, for the JTPS_SCAN_PHASE_MS accounting only. */
+inline double
+phaseNowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace
 
 KsmScanner::KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg,
                        StatSet &stats)
     : hv_(hv), cfg_(cfg), stats_(stats),
-      unstable_(initialUnstableCapacity),
       stat_stale_stable_(stats.counter("ksm.stale_stable_nodes")),
       stat_stale_unstable_(stats.counter("ksm.stale_unstable_nodes")),
       stat_skipped_huge_(stats.counter("ksm.skipped_huge")),
@@ -49,12 +60,34 @@ KsmScanner::KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg,
       stat_scan_shards_(stats.counter("ksm.scan_shards")),
       stat_precheck_candidates_(stats.counter("ksm.precheck_candidates")),
       stat_commit_replays_(stats.counter("ksm.commit_replays")),
-      stat_pml_skipped_(stats.counter("ksm.pages_pml_skipped"))
+      stat_pml_skipped_(stats.counter("ksm.pages_pml_skipped")),
+      stat_shard_imbalance_(stats.counter("ksm.shard_imbalance_max")),
+      stat_hv_ksm_merges_(hv.stats().counter("hv.ksm_merges"))
 {
     // Log-driven passes are only complete if every write has been
     // funneled into a ring since the VMs existed.
     jtps_assert(!cfg_.usePml || hv_.pmlEnabled());
+    // Every stable-epoch stripe must belong to exactly one shard
+    // (stripe = digest mod kStripes, shard = digest mod S): S | 64.
+    jtps_assert(cfg_.commitShards >= 1 &&
+                cfg_.commitShards <= mem::FrameTable::kStripes &&
+                mem::FrameTable::kStripes % cfg_.commitShards == 0);
+    shards_.resize(effectiveCommitShards());
+    for (ShardState &sh : shards_)
+        sh.unstable.assign(initialUnstableCapacity, UnstableSlot{});
+    stats_.set("ksm.commit_shards", shards_.size());
+    phase_timing_ = std::getenv("JTPS_SCAN_PHASE_MS") != nullptr;
     hv_.addPageListener(this);
+}
+
+unsigned
+KsmScanner::effectiveCommitShards() const
+{
+    // PML's ring/queue bookkeeping (splices, injected lanes) is
+    // inherently serial: log-driven runs keep the classic commit.
+    if (cfg_.usePml || cfg_.commitShards <= 1)
+        return 1;
+    return cfg_.commitShards;
 }
 
 KsmScanner::~KsmScanner()
@@ -160,31 +193,33 @@ KsmScanner::memoChecksum(Hfn hfn, std::uint64_t gen,
 }
 
 void
-KsmScanner::unstableRehash(std::size_t new_capacity)
+KsmScanner::unstableRehash(ShardState &sh, std::size_t new_capacity)
 {
     jtps_assert((new_capacity & (new_capacity - 1)) == 0);
-    std::vector<UnstableSlot> old = std::move(unstable_);
-    unstable_.assign(new_capacity, UnstableSlot{});
-    unstable_occupied_ = 0;
-    unstable_live_ = 0;
+    std::vector<UnstableSlot> old = std::move(sh.unstable);
+    sh.unstable.assign(new_capacity, UnstableSlot{});
+    sh.occupied = 0;
+    sh.live = 0;
     const std::size_t mask = new_capacity - 1;
     for (const UnstableSlot &s : old) {
         if (s.epoch != pass_epoch_)
             continue; // drop tombstones and earlier passes' entries
         std::size_t i = unstableSlotHash(s.digest) & mask;
-        while (unstable_[i].epoch != 0)
+        while (sh.unstable[i].epoch != 0)
             i = (i + 1) & mask;
-        unstable_[i] = s;
-        ++unstable_occupied_;
-        ++unstable_live_;
+        sh.unstable[i] = s;
+        ++sh.occupied;
+        ++sh.live;
     }
 }
 
 Hfn
-KsmScanner::stableLookup(const mem::PageData &data, std::uint64_t digest)
+KsmScanner::stableLookup(ShardState &sh, const mem::PageData &data,
+                         std::uint64_t digest,
+                         std::uint64_t &stale_counter)
 {
-    auto bucket = stable_tree_.find(digest);
-    if (bucket == stable_tree_.end())
+    auto bucket = sh.stableTree.find(digest);
+    if (bucket == sh.stableTree.end())
         return invalidFrame;
 
     std::vector<Hfn> &chain = bucket->second;
@@ -195,11 +230,16 @@ KsmScanner::stableLookup(const mem::PageData &data, std::uint64_t digest)
         // COW-diverged or the host evicted it) or its content replaced.
         // The full compare also guards merging across a digest
         // collision — a colliding valid frame merely loses its node.
+        // Content is compared *before* the stable flag: page content
+        // is frozen for a whole commit, so when the node is stale via
+        // a recycled frame now owned by another shard, the mismatch
+        // alone settles the prune without reading fields that shard
+        // may be mutating.
         if (!hv_.frames().isAllocated(hfn) ||
-            !hv_.frames().frame(hfn).ksmStable ||
-            !(hv_.frames().frame(hfn).data == data)) {
+            !(hv_.frames().frame(hfn).data == data) ||
+            !hv_.frames().frame(hfn).ksmStable) {
             chain.erase(chain.begin() + i);
-            ++stat_stale_stable_;
+            ++stale_counter;
             continue;
         }
         // Chain discipline: a full stable frame stops accepting
@@ -213,7 +253,7 @@ KsmScanner::stableLookup(const mem::PageData &data, std::uint64_t digest)
         break;
     }
     if (chain.empty())
-        stable_tree_.erase(bucket);
+        sh.stableTree.erase(bucket);
     return found;
 }
 
@@ -268,7 +308,7 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
             ps.digestValid = true;
         }
         skip_stable_probe = ps.lastStableEpoch != 0 &&
-                            ps.lastStableEpoch == ft.ksmStableEpoch();
+                            ps.lastStableEpoch == ft.ksmStableEpoch(digest);
     } else {
         const mem::Frame &frame = ft.frame(hfn);
         if (frame.ksmStable) {
@@ -322,21 +362,24 @@ KsmScanner::treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
                       const mem::PageData *data, bool skip_stable_probe,
                       const PageSnap *snap)
 {
+    ShardState &sh = shards_[shardFor(digest)];
+
     // Stable tree first.
     if (!skip_stable_probe) {
         if (snap && snap->probeCleanMiss &&
-            snap->probeEpoch == ft.ksmStableEpoch()) {
+            snap->probeEpoch == ft.ksmStableEpoch(digest)) {
             // The read-only classify probe walked the whole chain and
             // met neither a stale node nor an acceptable one, and the
             // stable epoch has not moved since: no node can have been
             // added, gone stale or regained capacity without a bump,
             // so a real lookup would do nothing but miss. Record the
             // miss exactly as the serial visit would.
-            ps.lastStableEpoch = ft.ksmStableEpoch();
+            ps.lastStableEpoch = ft.ksmStableEpoch(digest);
         } else {
             if (!data)
                 data = &ft.frame(hfn).data;
-            const Hfn stable = stableLookup(*data, digest);
+            const Hfn stable =
+                stableLookup(sh, *data, digest, stat_stale_stable_);
             if (stable != invalidFrame) {
                 if (hv_.ksmMergeInto(stable, vm, gfn)) {
                     ++merges_this_pass_;
@@ -352,7 +395,7 @@ KsmScanner::treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
             // revisits of this unchanged page may skip the probe (and
             // the pruning it would do — a missing probe already pruned
             // its bucket clean).
-            ps.lastStableEpoch = ft.ksmStableEpoch();
+            ps.lastStableEpoch = ft.ksmStableEpoch(digest);
         }
     }
 
@@ -360,12 +403,12 @@ KsmScanner::treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
     // earlier in this pass. One walk serves both the lookup and, on a
     // miss, the insert position (the first reusable stale/tombstone
     // slot in the chain, or its empty terminator).
-    const std::size_t mask = unstable_.size() - 1;
+    const std::size_t mask = sh.unstable.size() - 1;
     std::size_t slot = npos;
     std::size_t insert_at = npos;
     for (std::size_t i = unstableSlotHash(digest) & mask;;
          i = (i + 1) & mask) {
-        const UnstableSlot &s = unstable_[i];
+        const UnstableSlot &s = sh.unstable[i];
         if (s.epoch == 0) {
             if (insert_at == npos)
                 insert_at = i;
@@ -382,7 +425,7 @@ KsmScanner::treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
     }
 
     if (slot != npos) {
-        UnstableSlot &u = unstable_[slot];
+        UnstableSlot &u = sh.unstable[slot];
         if (u.vm == vm && u.gfn == gfn) {
             return; // same page revisited
         }
@@ -438,9 +481,9 @@ KsmScanner::treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
         // stable frame; the candidate merges into it.
         Hfn fresh = hv_.ksmMakeStable(u.vm, u.gfn);
         jtps_assert(fresh != invalidFrame);
-        stable_tree_[digest].push_back(fresh);
+        sh.stableTree[digest].push_back(fresh);
         u.epoch = tombstoneEpoch; // erase, keeping probe chains intact
-        --unstable_live_;
+        --sh.live;
         if (hv_.ksmMergeInto(fresh, vm, gfn)) {
             ++merges_this_pass_;
             ++merges_total_;
@@ -457,23 +500,23 @@ KsmScanner::treeStage(VmId vm, Gfn gfn, mem::FrameTable &ft,
     // would consume an empty slot, so a steady-state pass over
     // unchanged memory re-inserts into the previous pass's (now stale)
     // slots without ever allocating or rehashing.
-    if (unstable_[insert_at].epoch == 0) {
-        if ((unstable_occupied_ + 1) * 10 >= unstable_.size() * 7) {
-            std::size_t cap = unstable_.size();
-            while (cap < 4 * (unstable_live_ + 1))
+    if (sh.unstable[insert_at].epoch == 0) {
+        if ((sh.occupied + 1) * 10 >= sh.unstable.size() * 7) {
+            std::size_t cap = sh.unstable.size();
+            while (cap < 4 * (sh.live + 1))
                 cap *= 2;
-            unstableRehash(cap);
+            unstableRehash(sh, cap);
             // Re-derive the insert position in the rehashed table
             // (all remaining slots are live entries of this pass).
-            const std::size_t m2 = unstable_.size() - 1;
+            const std::size_t m2 = sh.unstable.size() - 1;
             insert_at = unstableSlotHash(digest) & m2;
-            while (unstable_[insert_at].epoch != 0)
+            while (sh.unstable[insert_at].epoch != 0)
                 insert_at = (insert_at + 1) & m2;
         }
-        ++unstable_occupied_;
+        ++sh.occupied;
     }
-    unstable_[insert_at] = UnstableSlot{digest, pass_epoch_, vm, gfn};
-    ++unstable_live_;
+    sh.unstable[insert_at] = UnstableSlot{digest, pass_epoch_, vm, gfn};
+    ++sh.live;
 }
 
 bool
@@ -500,12 +543,24 @@ KsmScanner::passBoundary()
     cur_gfn_ = 0;
     ++full_scans_;
     stats_.set("ksm.full_scans", full_scans_);
+    if (phase_timing_) {
+        std::fprintf(stderr,
+                     "[scan-phase] pass %llu: collect %.1f classify "
+                     "%.1f partition %.1f shard %.1f reduce %.1f "
+                     "serial %.1f ms\n",
+                     (unsigned long long)full_scans_, phase_ms_.collect,
+                     phase_ms_.classify, phase_ms_.partition,
+                     phase_ms_.shard, phase_ms_.reduce,
+                     phase_ms_.serial);
+        phase_ms_ = PhaseMs{};
+    }
     if (!cfg_.usePml) {
         // Clearing the unstable tree is one epoch bump: last pass's
         // entries go stale in place and their slots are reused by the
         // next pass's inserts.
         ++pass_epoch_;
-        unstable_live_ = 0;
+        for (ShardState &sh : shards_)
+            sh.live = 0;
     } else {
         // Log-driven passes keep the unstable table *persistent*: an
         // unvisited calm page stays represented by the entry its last
@@ -573,7 +628,9 @@ KsmScanner::scanBatch()
         return cfg_.scanThreads >= 2 ? scanBatchParallelPml()
                                      : scanBatchSerialPml();
     }
-    if (cfg_.scanThreads >= 2)
+    // A sharded commit needs the two-phase split even at one scan
+    // thread (the split is byte-identical to the serial loop).
+    if (cfg_.scanThreads >= 2 || shards_.size() > 1)
         return scanBatchParallel();
     return scanBatchSerial();
 }
@@ -619,14 +676,14 @@ KsmScanner::scanBatchSerial()
                     // slots, and a 32-byte slot at an odd index walks
                     // into the next line immediately. rw=1 because the
                     // common case re-inserts into the probed chain.
+                    const auto &pun =
+                        shards_[shardFor(pps.lastDigest)].unstable;
                     const std::size_t h =
                         unstableSlotHash(pps.lastDigest) &
-                        (unstable_.size() - 1);
-                    __builtin_prefetch(unstable_.data() + h, 1);
+                        (pun.size() - 1);
+                    __builtin_prefetch(pun.data() + h, 1);
                     __builtin_prefetch(
-                        unstable_.data() +
-                            ((h + 2) & (unstable_.size() - 1)),
-                        1);
+                        pun.data() + ((h + 2) & (pun.size() - 1)), 1);
                 }
             }
             if (scanOne(cur_vm_, cur_gfn_, v, ft, psv))
@@ -643,8 +700,9 @@ KsmScanner::stableProbeCleanMiss(const mem::FrameTable &ft,
                                  const mem::PageData &data,
                                  std::uint64_t digest) const
 {
-    const auto bucket = stable_tree_.find(digest);
-    if (bucket == stable_tree_.end())
+    const ShardState &sh = shards_[shardFor(digest)];
+    const auto bucket = sh.stableTree.find(digest);
+    if (bucket == sh.stableTree.end())
         return true;
     for (const Hfn hfn : bucket->second) {
         if (!ft.isAllocated(hfn) || !ft.frame(hfn).ksmStable ||
@@ -658,7 +716,7 @@ KsmScanner::stableProbeCleanMiss(const mem::FrameTable &ft,
 }
 
 void
-KsmScanner::classifyOne(VmId vm, Gfn gfn, const hv::Vm &v,
+KsmScanner::classifyOne(Gfn gfn, const hv::Vm &v,
                         const mem::FrameTable &ft,
                         const PageScanState *psv, PageSnap &snap) const
 {
@@ -696,7 +754,7 @@ KsmScanner::classifyOne(VmId vm, Gfn gfn, const hv::Vm &v,
         // then-current epoch; probing here would be wasted work when
         // the skip is going to hold.
         if (ps.lastStableEpoch != 0 &&
-            ps.lastStableEpoch == ft.ksmStableEpoch())
+            ps.lastStableEpoch == ft.ksmStableEpoch(digest))
             return;
     } else {
         if (ft.frame(hfn).ksmStable) {
@@ -722,7 +780,7 @@ KsmScanner::classifyOne(VmId vm, Gfn gfn, const hv::Vm &v,
     // side effects the commit must replay against the live tree.
     snap.probeCleanMiss =
         stableProbeCleanMiss(ft, ft.frame(hfn).data, digest);
-    snap.probeEpoch = ft.ksmStableEpoch();
+    snap.probeEpoch = ft.ksmStableEpoch(digest);
 }
 
 void
@@ -740,13 +798,14 @@ KsmScanner::classifyRange(const mem::FrameTable &ft, std::size_t begin,
             psv = page_state_[w.vm].data();
             last_vm = w.vm;
         }
-        classifyOne(w.vm, w.gfn, *v, ft, psv, snaps_[i]);
+        classifyOne(w.gfn, *v, ft, psv, snaps_[i]);
     }
 }
 
 std::uint64_t
 KsmScanner::commitDigest(Hfn hfn, std::uint64_t gen,
-                         const PageSnap &snap, const mem::PageData &data)
+                         const PageSnap &snap, const mem::PageData &data,
+                         std::uint64_t &digest_hits)
 {
     FrameMemo &m = frameMemo(hfn);
     if (m.gen != gen) {
@@ -754,7 +813,7 @@ KsmScanner::commitDigest(Hfn hfn, std::uint64_t gen,
         m.gen = gen;
     }
     if (m.hasDigest) {
-        ++stat_digest_cache_hits_;
+        ++digest_hits;
         return m.digest;
     }
     m.digest = snap.hasDigest ? snap.digest : data.digest();
@@ -782,7 +841,7 @@ KsmScanner::commitChecksum(Hfn hfn, std::uint64_t gen,
 void
 KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
                       mem::FrameTable &ft, PageScanState *psv,
-                      const PageSnap &snap)
+                      const PageSnap &snap, GenCheck gen_check)
 {
     if (snap.kind == PageSnap::Kind::Huge) {
         // hugePages flags are frozen for the batch: always valid.
@@ -791,7 +850,10 @@ KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
     }
 
     const Hfn hfn = v.ept.entry(gfn).backing;
-    if (ft.writeGen(hfn) != snap.gen) {
+    const bool gen_moved = gen_check == GenCheck::Live
+                               ? ft.writeGen(hfn) != snap.gen
+                               : gen_check == GenCheck::ForceReplay;
+    if (gen_moved) {
         // The frame moved since classify — an earlier commit promoted
         // it to stable (the only mid-batch generation source), or the
         // page was remapped. Nothing recorded in the snap is provable
@@ -808,7 +870,7 @@ KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
     PageScanState &ps = psv[gfn];
     const std::uint64_t gen = snap.gen;
     const mem::PageData *data = nullptr;
-    std::uint64_t digest;
+    std::uint64_t digest = 0;
     bool skip_stable_probe = false;
 
     switch (snap.kind) {
@@ -824,12 +886,13 @@ KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
             digest = ps.lastDigest;
         } else {
             data = &ft.frame(hfn).data;
-            digest = commitDigest(hfn, gen, snap, *data);
+            digest = commitDigest(hfn, gen, snap, *data,
+                                  stat_digest_cache_hits_);
             ps.lastDigest = digest;
             ps.digestValid = true;
         }
         skip_stable_probe = ps.lastStableEpoch != 0 &&
-                            ps.lastStableEpoch == ft.ksmStableEpoch();
+                            ps.lastStableEpoch == ft.ksmStableEpoch(digest);
         break;
     case PageSnap::Kind::SlowStable:
         if (cfg_.incrementalScan) {
@@ -856,7 +919,8 @@ KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
             return;
         }
         digest = cfg_.incrementalScan
-                     ? commitDigest(hfn, gen, snap, *data)
+                     ? commitDigest(hfn, gen, snap, *data,
+                                    stat_digest_cache_hits_)
                      : snap.digest;
         if (cfg_.incrementalScan) {
             ps.lastDigest = digest;
@@ -881,6 +945,7 @@ KsmScanner::scanBatchParallel()
     work_.clear();
     std::uint64_t visited = 0;
     bool boundary = false;
+    const double t_collect = phase_timing_ ? phaseNowMs() : 0.0;
     while (visited < cfg_.pagesToScan) {
         if (!cursorNext()) {
             boundary = true;
@@ -899,6 +964,8 @@ KsmScanner::scanBatchParallel()
             ++cur_gfn_;
         }
     }
+    if (phase_timing_)
+        phase_ms_.collect += phaseNowMs() - t_collect;
 
     classifyAndCommit();
     if (boundary)
@@ -916,10 +983,13 @@ KsmScanner::classifyAndCommit()
     // only read (frozen frame table, EPTs, per-page state) and only
     // write their own snaps_ range; determinism needs no ordering
     // here because commit ignores completion order entirely.
+    const double t_classify = phase_timing_ ? phaseNowMs() : 0.0;
     if (!work_.empty()) {
         snaps_.assign(work_.size(), PageSnap{});
         if (!pool_)
-            pool_ = std::make_unique<ThreadPool>(cfg_.scanThreads);
+            pool_ = std::make_unique<ThreadPool>(
+                std::max<unsigned>(cfg_.scanThreads,
+                                   static_cast<unsigned>(shards_.size())));
         const std::size_t shard =
             std::max<std::size_t>(1, cfg_.scanShardPages);
         const mem::FrameTable &cft = ft;
@@ -935,10 +1005,21 @@ KsmScanner::classifyAndCommit()
         pool_->wait();
         stat_scan_shards_ += shards;
     }
+    if (phase_timing_)
+        phase_ms_.classify += phaseNowMs() - t_classify;
+
+    // ---- Commit. With commit sharding active, the candidate work
+    // fans out across the digest shards and the rest reduces serially
+    // in canonical order — byte-identical to the loop below.
+    if (shards_.size() > 1) {
+        commitSharded(ft);
+        return;
+    }
 
     // ---- Commit: replay verdicts serially in collect order. All
     // mutations happen here, exactly as the serial scanner interleaves
     // them, so merges, counters and traces are byte-identical.
+    const double t_serial = phase_timing_ ? phaseNowMs() : 0.0;
     VmId last_vm = invalidVm;
     const hv::Vm *v = nullptr;
     PageScanState *psv = nullptr;
@@ -965,6 +1046,365 @@ KsmScanner::classifyAndCommit()
             pmlRequeue(w.vm, w.gfn);
     }
     pml_in_commit_ = false;
+    if (phase_timing_)
+        phase_ms_.serial += phaseNowMs() - t_serial;
+}
+
+void
+KsmScanner::commitSharded(mem::FrameTable &ft)
+{
+    const unsigned S = static_cast<unsigned>(shards_.size());
+    const double t_partition = phase_timing_ ? phaseNowMs() : 0.0;
+    if (shard_work_.size() != S)
+        shard_work_.resize(S);
+    for (ShardWork &sw : shard_work_) {
+        sw.items.clear();
+        sw.ops.clear();
+        sw.counters = ShardCounters{};
+    }
+    residual_.clear();
+
+    // ---- Partition (serial): merge candidates go to their digest's
+    // shard — equal content means equal digest, so everything a
+    // candidate can interact with (tree chains, unstable entries,
+    // merge targets, promotion sources) lives in the same shard.
+    // Everything else joins the residual stream for the reduce.
+    Hfn max_hfn = 0;
+    bool have_candidates = false;
+    for (std::size_t i = 0; i < work_.size(); ++i) {
+        const PageSnap &snap = snaps_[i];
+        if (snap.kind == PageSnap::Kind::GenCalm ||
+            snap.kind == PageSnap::Kind::SlowCalm) {
+            ++stat_precheck_candidates_;
+            const WorkItem w = work_[i];
+            // SlowCalm snaps always carry the digest; a GenCalm snap
+            // without one proves the per-page cache holds it.
+            const std::uint64_t digest =
+                snap.hasDigest ? snap.digest
+                               : page_state_[w.vm][w.gfn].lastDigest;
+            shard_work_[shardFor(digest)].items.push_back(
+                static_cast<std::uint32_t>(i));
+            max_hfn = std::max(max_hfn,
+                               hv_.vm(w.vm).ept.entry(w.gfn).backing);
+            have_candidates = true;
+        } else {
+            residual_.push_back(static_cast<std::uint32_t>(i));
+        }
+    }
+
+    std::size_t mx = 0;
+    std::size_t mn = work_.size();
+    for (const ShardWork &sw : shard_work_) {
+        mx = std::max(mx, sw.items.size());
+        mn = std::min(mn, sw.items.size());
+    }
+    const std::uint64_t imb = static_cast<std::uint64_t>(mx - mn);
+    if (imb > shard_imbalance_max_) {
+        shard_imbalance_max_ = imb;
+        stat_shard_imbalance_ = imb;
+    }
+
+    // Pre-size the frame memo serially: shard jobs memoise their own
+    // candidates' frames and must never grow the vector concurrently.
+    if (have_candidates)
+        frameMemo(max_hfn);
+    const double t_shard = phase_timing_ ? phaseNowMs() : 0.0;
+    if (phase_timing_)
+        phase_ms_.partition += t_shard - t_partition;
+
+    // ---- Shard jobs: each replays its candidates in ascending work
+    // index against its own index slices, epoch stripes and
+    // generation lane, logging cross-shard effects.
+    for (unsigned s = 0; s < S; ++s) {
+        if (shard_work_[s].items.empty())
+            continue;
+        pool_->submit([this, &ft, s] { shardCommitItems(ft, s); });
+    }
+    if (have_candidates)
+        pool_->wait();
+    const double t_reduce = phase_timing_ ? phaseNowMs() : 0.0;
+    if (phase_timing_)
+        phase_ms_.shard += t_reduce - t_shard;
+
+    // ---- Reduce (serial): interleave the shard op logs with the
+    // residual stream by work index and apply in exactly the order
+    // the serial commit would have produced these effects.
+    merged_ops_.clear();
+    for (const ShardWork &sw : shard_work_)
+        merged_ops_.insert(merged_ops_.end(), sw.ops.begin(),
+                           sw.ops.end());
+    std::sort(merged_ops_.begin(), merged_ops_.end(),
+              [](const ShardOp &a, const ShardOp &b) {
+                  return a.idx < b.idx;
+              });
+    bumped_.clear();
+    VmId last_vm = invalidVm;
+    const hv::Vm *v = nullptr;
+    PageScanState *psv = nullptr;
+    std::size_t oi = 0;
+    std::size_t ri = 0;
+    while (oi < merged_ops_.size() || ri < residual_.size()) {
+        const bool take_op =
+            ri >= residual_.size() ||
+            (oi < merged_ops_.size() &&
+             merged_ops_[oi].idx < residual_[ri]);
+        if (take_op) {
+            applyShardOp(merged_ops_[oi++], ft);
+            continue;
+        }
+        const std::uint32_t i = residual_[ri++];
+        const WorkItem w = work_[i];
+        if (w.vm != last_vm) {
+            v = &hv_.vm(w.vm);
+            psv = page_state_[w.vm].data();
+            last_vm = w.vm;
+        }
+        const PageSnap &snap = snaps_[i];
+        // The serial commit checks the live write generation at this
+        // item's turn. Here every shard promotion has already landed,
+        // so decide from the applied-op record instead: only a
+        // promotion with a smaller work index (already applied, hence
+        // in bumped_) would have been visible serially.
+        GenCheck gc = GenCheck::ForceCommit;
+        if (snap.kind != PageSnap::Kind::Huge &&
+            bumped_.count(v->ept.entry(w.gfn).backing) != 0)
+            gc = GenCheck::ForceReplay;
+        commitOne(w.vm, w.gfn, *v, ft, psv, snap, gc);
+    }
+
+    // ---- Fold the shard counters into the live stats, in shard
+    // order (the totals are sums, so they match the serial commit).
+    for (const ShardWork &sw : shard_work_) {
+        stat_stale_stable_ += sw.counters.staleStable;
+        stat_stale_unstable_ += sw.counters.staleUnstable;
+        stat_gen_skipped_ += sw.counters.genSkipped;
+        stat_digest_cache_hits_ += sw.counters.digestCacheHits;
+        stat_commit_replays_ += sw.counters.commitReplays;
+    }
+    if (phase_timing_)
+        phase_ms_.reduce += phaseNowMs() - t_reduce;
+}
+
+void
+KsmScanner::shardCommitItems(mem::FrameTable &ft, unsigned s)
+{
+    ShardState &sh = shards_[s];
+    ShardWork &sw = shard_work_[s];
+    const unsigned lane = s + 1; // write-generation lane (0 = serial)
+    VmId last_vm = invalidVm;
+    const hv::Vm *v = nullptr;
+    PageScanState *psv = nullptr;
+    for (const std::uint32_t idx : sw.items) {
+        const WorkItem w = work_[idx];
+        if (w.vm != last_vm) {
+            v = &hv_.vm(w.vm);
+            psv = page_state_[w.vm].data();
+            last_vm = w.vm;
+        }
+        const PageSnap &snap = snaps_[idx];
+        const Hfn hfn = v->ept.entry(w.gfn).backing;
+        PageScanState &ps = psv[w.gfn];
+        if (ft.writeGen(hfn) != snap.gen) {
+            // The only mid-batch generation source a shard can see is
+            // one of its own earlier promotions (equal content means
+            // equal digest means same shard), which left the frame
+            // stable — so the serial replay's scanOne() reduces to
+            // its stable fast path, reproduced inline.
+            ++sw.counters.commitReplays;
+            jtps_assert(ft.frame(hfn).ksmStable);
+            if (cfg_.incrementalScan) {
+                ps.lastGen = ft.writeGen(hfn);
+                ps.lastStable = true;
+                ps.digestValid = false;
+                ps.lastStableEpoch = 0;
+            }
+            continue;
+        }
+
+        const std::uint64_t gen = snap.gen;
+        const mem::PageData *data = nullptr;
+        std::uint64_t digest = 0;
+        bool skip_stable_probe = false;
+        if (snap.kind == PageSnap::Kind::GenCalm) {
+            ++sw.counters.genSkipped;
+            if (ps.digestValid) {
+                ++sw.counters.digestCacheHits;
+                digest = ps.lastDigest;
+            } else {
+                data = &ft.frame(hfn).data;
+                digest = commitDigest(hfn, gen, snap, *data,
+                                      sw.counters.digestCacheHits);
+                ps.lastDigest = digest;
+                ps.digestValid = true;
+            }
+            skip_stable_probe =
+                ps.lastStableEpoch != 0 &&
+                ps.lastStableEpoch == ft.ksmStableEpoch(digest);
+        } else { // SlowCalm
+            data = &ft.frame(hfn).data;
+            const std::uint32_t sum =
+                cfg_.incrementalScan
+                    ? commitChecksum(hfn, gen, snap, *data)
+                    : snap.checksum;
+            ps.lastChecksum = sum;
+            ps.checksumValid = true;
+            ps.lastGen = gen;
+            ps.lastStable = false;
+            ps.lastStableEpoch = 0;
+            ps.digestValid = false;
+            digest = cfg_.incrementalScan
+                         ? commitDigest(hfn, gen, snap, *data,
+                                        sw.counters.digestCacheHits)
+                         : snap.digest;
+            if (cfg_.incrementalScan) {
+                ps.lastDigest = digest;
+                ps.digestValid = true;
+            }
+        }
+
+        shardTreeStage(sh, sw, lane, idx, w.vm, w.gfn, ft, ps, hfn,
+                       digest, data, skip_stable_probe, &snaps_[idx]);
+    }
+}
+
+void
+KsmScanner::shardTreeStage(ShardState &sh, ShardWork &sw, unsigned lane,
+                           std::uint32_t idx, VmId vm, Gfn gfn,
+                           mem::FrameTable &ft, PageScanState &ps,
+                           Hfn hfn, std::uint64_t digest,
+                           const mem::PageData *data,
+                           bool skip_stable_probe, const PageSnap *snap)
+{
+    // Mirror of treeStage() against the shard's own slices, with every
+    // cross-shard effect executed through the frame table's deferred
+    // protocol and logged for the reduce. usePml never reaches here
+    // (sharding collapses to 1), so its branches are omitted.
+    if (!skip_stable_probe) {
+        if (snap && snap->probeCleanMiss &&
+            snap->probeEpoch == ft.ksmStableEpoch(digest)) {
+            ps.lastStableEpoch = ft.ksmStableEpoch(digest);
+        } else {
+            if (!data)
+                data = &ft.frame(hfn).data;
+            const Hfn stable =
+                stableLookup(sh, *data, digest, sw.counters.staleStable);
+            if (stable != invalidFrame) {
+                ShardOp op{};
+                op.idx = idx;
+                op.vm = vm;
+                op.gfn = gfn;
+                op.stable = stable;
+                if (hv_.ksmMergeIntoShard(stable, vm, gfn,
+                                          &op.freedSource,
+                                          &op.source)) {
+                    op.merged = true;
+                    sw.ops.push_back(op);
+                }
+                return;
+            }
+            ps.lastStableEpoch = ft.ksmStableEpoch(digest);
+        }
+    }
+
+    // Unstable slice: the same one-walk lookup/insert as treeStage().
+    const std::size_t mask = sh.unstable.size() - 1;
+    std::size_t slot = npos;
+    std::size_t insert_at = npos;
+    for (std::size_t i = unstableSlotHash(digest) & mask;;
+         i = (i + 1) & mask) {
+        const UnstableSlot &u = sh.unstable[i];
+        if (u.epoch == 0) {
+            if (insert_at == npos)
+                insert_at = i;
+            break;
+        }
+        if (u.epoch == pass_epoch_) {
+            if (u.digest == digest) {
+                slot = i;
+                break;
+            }
+        } else if (insert_at == npos) {
+            insert_at = i;
+        }
+    }
+
+    if (slot != npos) {
+        UnstableSlot &u = sh.unstable[slot];
+        if (u.vm == vm && u.gfn == gfn)
+            return; // same page revisited
+        if (!data)
+            data = &ft.frame(hfn).data;
+        const mem::PageData *other = hv_.peek(u.vm, u.gfn);
+        const bool entry_stale = other == nullptr || !(*other == *data);
+        if (entry_stale) {
+            u.vm = vm;
+            u.gfn = gfn;
+            ++sw.counters.staleUnstable;
+            return;
+        }
+        ShardOp op{};
+        op.idx = idx;
+        op.vm = vm;
+        op.gfn = gfn;
+        op.promotion = true;
+        const Hfn fresh = hv_.ksmMakeStableShard(u.vm, u.gfn, digest,
+                                                 lane, &op.transitioned,
+                                                 &op.refcountAtSet);
+        jtps_assert(fresh != invalidFrame);
+        op.stable = fresh;
+        sh.stableTree[digest].push_back(fresh);
+        u.epoch = tombstoneEpoch;
+        --sh.live;
+        if (hv_.ksmMergeIntoShard(fresh, vm, gfn, &op.freedSource,
+                                  &op.source))
+            op.merged = true;
+        if (op.transitioned || op.merged)
+            sw.ops.push_back(op);
+        return;
+    }
+
+    // Miss: insert, with the slice-local growth policy.
+    if (sh.unstable[insert_at].epoch == 0) {
+        if ((sh.occupied + 1) * 10 >= sh.unstable.size() * 7) {
+            std::size_t cap = sh.unstable.size();
+            while (cap < 4 * (sh.live + 1))
+                cap *= 2;
+            unstableRehash(sh, cap);
+            const std::size_t m2 = sh.unstable.size() - 1;
+            insert_at = unstableSlotHash(digest) & m2;
+            while (sh.unstable[insert_at].epoch != 0)
+                insert_at = (insert_at + 1) & m2;
+        }
+        ++sh.occupied;
+    }
+    sh.unstable[insert_at] = UnstableSlot{digest, pass_epoch_, vm, gfn};
+    ++sh.live;
+}
+
+void
+KsmScanner::applyShardOp(const ShardOp &op, mem::FrameTable &ft)
+{
+    // Effects land in the serial commit's exact order for this item:
+    // the promotion's bookkeeping first (setKsmStable's counters),
+    // then the merge's unmap/map/touch/stat/trace sequence.
+    if (op.promotion && op.transitioned) {
+        ft.commitStablePromote(op.stable, op.refcountAtSet);
+        bumped_.insert(op.stable);
+    }
+    if (!op.merged)
+        return;
+    if (op.freedSource)
+        ft.finishDeferredFree(op.source);
+    ft.commitSharingAdd(op.stable);
+    ft.touch(op.stable);
+    ++stat_hv_ksm_merges_;
+    ++merges_this_pass_;
+    ++merges_total_;
+    ++(op.promotion ? stat_unstable_promotions_ : stat_stable_merges_);
+    if (TraceBuffer *t = hv_.trace())
+        t->record(op.promotion ? TraceEventType::KsmUnstablePromotion
+                               : TraceEventType::KsmStableMerge,
+                  op.vm, op.gfn, op.stable);
 }
 
 KsmScanner::PmlVmQueue &

@@ -59,6 +59,25 @@
  * moved mid-commit falls back to a full serial visit
  * (`ksm.commit_replays`). Merges, counters and trace streams are
  * therefore byte-identical at any thread count.
+ *
+ * Sharded commit (docs/ARCHITECTURE.md, docs/PERF.md §9): with
+ * KsmConfig::commitShards = S >= 2 the stable and unstable indexes are
+ * partitioned into S digest-sharded slices (shard = digest mod S), so
+ * every merge candidate pair lands in one shard by construction — a
+ * candidate and whatever it can merge with hold identical content,
+ * hence identical digests. The commit phase then runs as S independent
+ * shard commits on the thread pool, each replaying its candidates in
+ * canonical page order against its own slice of the trees, its own
+ * stable-epoch stripes (mem::FrameTable stripes them by digest, and S
+ * divides the stripe count) and its own write-generation lane, with
+ * all cross-shard effects — sharing counters, frame frees, touches,
+ * hv stats, trace records — captured in a per-shard op log. A serial
+ * reduce finally merges the S op logs with the non-candidate residual
+ * stream by global work index and applies them in exactly the serial
+ * order. Counters, merges, traces and documents are byte-identical to
+ * S = 1 at any shard count; only `ksm.commit_shards` and
+ * `ksm.shard_imbalance_max` (machine-sizing, like `ksm.scan_shards`)
+ * depend on S.
  */
 
 #ifndef JTPS_KSM_KSM_SCANNER_HH
@@ -67,6 +86,7 @@
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -135,6 +155,18 @@ struct KsmConfig
      * pages each pass proved it could leave unvisited.
      */
     bool usePml = false;
+    /**
+     * Digest shards for the commit phase. With S >= 2 the stable and
+     * unstable indexes are partitioned by digest mod S and a batch's
+     * merge candidates commit as S independent shard jobs on the
+     * thread pool, followed by a serial order-preserving reduce (see
+     * the file comment). Must divide mem::FrameTable::kStripes (64) so
+     * every stable-epoch stripe is owned by exactly one shard.
+     * Byte-identical to 1 at any value; only `ksm.commit_shards` and
+     * `ksm.shard_imbalance_max` depend on it. Ignored (treated as 1)
+     * under usePml, whose ring/queue bookkeeping is inherently serial.
+     */
+    unsigned commitShards = 1;
 };
 
 /**
@@ -279,6 +311,79 @@ class KsmScanner : public hv::PageEventListener
     };
 
     /**
+     * One digest shard's slice of the merge indexes. All structures
+     * behave exactly as the S = 1 originals restricted to digests with
+     * `digest % S == shard`: lookups compare digests (and then full
+     * content), never slot positions, so partitioning is unobservable.
+     */
+    struct ShardState
+    {
+        /** Stable tree slice: digest -> stable frames, creation order. */
+        std::unordered_map<std::uint64_t, std::vector<Hfn>> stableTree;
+        /** Unstable table slice (flat, epoch-cleared). */
+        std::vector<UnstableSlot> unstable;
+        std::size_t occupied = 0; //!< slots with epoch != 0
+        std::size_t live = 0;     //!< slots with epoch == current
+    };
+
+    /**
+     * One deferred cross-shard effect recorded by a shard commit: a
+     * merge into a stable frame and/or a stable promotion. The serial
+     * reduce replays these in global work-index order, so sharing
+     * counters, the frame free list, LRU touches, hv stats and trace
+     * records land exactly as the serial commit would have placed them.
+     */
+    struct ShardOp
+    {
+        std::uint32_t idx;          //!< global work index (canonical order)
+        VmId vm;                    //!< candidate page (trace payload)
+        Gfn gfn;
+        Hfn stable;                 //!< merge target (tree hit or fresh)
+        Hfn source;                 //!< pre-merge backing of the candidate
+        std::uint32_t refcountAtSet; //!< target refcount when promoted
+        bool promotion;     //!< unstable promotion vs stable-tree merge
+        bool transitioned;  //!< the promotion actually set the flag
+        bool merged;        //!< the merge attempt succeeded
+        bool freedSource;   //!< merge unmapped the source's last mapping
+    };
+
+    /** Counters a shard commit accumulates privately; folded into the
+     *  live stats in shard order at the reduce (sums are order-free). */
+    struct ShardCounters
+    {
+        std::uint64_t staleStable = 0;
+        std::uint64_t staleUnstable = 0;
+        std::uint64_t genSkipped = 0;
+        std::uint64_t digestCacheHits = 0;
+        std::uint64_t commitReplays = 0;
+    };
+
+    /** Per-shard commit job: its candidate indexes (ascending), its op
+     *  log, and its private counters. Reused across batches. */
+    struct ShardWork
+    {
+        std::vector<std::uint32_t> items;
+        std::vector<ShardOp> ops;
+        ShardCounters counters;
+    };
+
+    /**
+     * How commitOne() treats the live write-generation check. The
+     * serial commit uses Live; the sharded reduce replays residual
+     * (non-candidate) items after *all* shard promotions have landed,
+     * so it decides from the applied-op record instead: ForceReplay
+     * when a promotion with a smaller work index moved the frame's
+     * generation (the serial commit would have seen the mismatch),
+     * ForceCommit otherwise (a later promotion must not be seen).
+     */
+    enum class GenCheck : std::uint8_t
+    {
+        Live,
+        ForceReplay,
+        ForceCommit,
+    };
+
+    /**
      * Classify-phase verdict for one work item, produced read-only by
      * a worker thread and consumed by the serial commit. `gen` is the
      * proof token: commit uses the recorded values only while the
@@ -402,7 +507,7 @@ class KsmScanner : public hv::PageEventListener
                        std::size_t end);
 
     /** Classify one work item into @p snap. */
-    void classifyOne(VmId vm, Gfn gfn, const hv::Vm &v,
+    void classifyOne(Gfn gfn, const hv::Vm &v,
                      const mem::FrameTable &ft,
                      const PageScanState *psv, PageSnap &snap) const;
 
@@ -410,7 +515,41 @@ class KsmScanner : public hv::PageEventListener
      *  exactly as the serial visit would. */
     void commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
                    mem::FrameTable &ft, PageScanState *psv,
-                   const PageSnap &snap);
+                   const PageSnap &snap,
+                   GenCheck gen_check = GenCheck::Live);
+
+    /** Effective commit shard count: cfg_.commitShards, collapsed to 1
+     *  under usePml or when <= 1. */
+    unsigned effectiveCommitShards() const;
+
+    /** Digest shard owning @p digest. */
+    unsigned
+    shardFor(std::uint64_t digest) const
+    {
+        return static_cast<unsigned>(digest % shards_.size());
+    }
+
+    /** Sharded commit phase: partition the classified batch, run the
+     *  S shard jobs on the pool, then reduce serially (see file
+     *  comment). Replaces the serial commit loop when S >= 2. */
+    void commitSharded(mem::FrameTable &ft);
+
+    /** One shard's commit job (pool thread): replay the shard's
+     *  candidates in ascending work index against its own slices,
+     *  logging cross-shard effects into its ShardWork. */
+    void shardCommitItems(mem::FrameTable &ft, unsigned s);
+
+    /** treeStage(), shard flavour: same decisions against the shard's
+     *  slices, with merges/promotions executed through the deferred
+     *  FrameTable protocol and logged instead of counted/traced. */
+    void shardTreeStage(ShardState &sh, ShardWork &sw, unsigned lane,
+                        std::uint32_t idx, VmId vm, Gfn gfn,
+                        mem::FrameTable &ft, PageScanState &ps, Hfn hfn,
+                        std::uint64_t digest, const mem::PageData *data,
+                        bool skip_stable_probe, const PageSnap *snap);
+
+    /** Apply one shard op at the reduce (serial, in work-index order). */
+    void applyShardOp(const ShardOp &op, mem::FrameTable &ft);
 
     /**
      * Stable-probe + unstable-table stage shared by the serial visit
@@ -431,10 +570,13 @@ class KsmScanner : public hv::PageEventListener
 
     /** memoDigest(), but a generation-proved snapshot value stands in
      *  for the recompute (hit accounting and memo end-state are
-     *  byte-identical to the serial visit). */
+     *  byte-identical to the serial visit). @p digest_hits is the
+     *  cache-hit sink: the live counter serially, a shard's private
+     *  accumulator from a shard commit. */
     std::uint64_t commitDigest(Hfn hfn, std::uint64_t gen,
                                const PageSnap &snap,
-                               const mem::PageData &data);
+                               const mem::PageData &data,
+                               std::uint64_t &digest_hits);
 
     /** memoChecksum(), with the same snapshot substitution. */
     std::uint32_t commitChecksum(Hfn hfn, std::uint64_t gen,
@@ -453,10 +595,16 @@ class KsmScanner : public hv::PageEventListener
     void passBoundary();
 
     /**
-     * Look up @p data (whose digest is @p digest) in the stable tree,
-     * pruning stale nodes and emptied digest buckets.
+     * Look up @p data (whose digest is @p digest) in @p sh's stable
+     * tree slice, pruning stale nodes and emptied digest buckets into
+     * @p stale_counter (the live stat serially, a shard accumulator
+     * from a shard commit). The staleness test compares content before
+     * reading the stable flag: a stale node's recycled frame may be
+     * mid-mutation in another shard, but its (frozen) content already
+     * proves the prune, so the outcome never depends on the race.
      */
-    Hfn stableLookup(const mem::PageData &data, std::uint64_t digest);
+    Hfn stableLookup(ShardState &sh, const mem::PageData &data,
+                     std::uint64_t digest, std::uint64_t &stale_counter);
 
     /** Lazily-sized per-page state for (vm, gfn). */
     PageScanState &pageState(VmId vm, Gfn gfn);
@@ -475,8 +623,8 @@ class KsmScanner : public hv::PageEventListener
     std::uint32_t memoChecksum(Hfn hfn, std::uint64_t gen,
                                const mem::PageData &data);
 
-    /** Grow/compact the flat unstable table (drops stale slots). */
-    void unstableRehash(std::size_t new_capacity);
+    /** Grow/compact @p sh's flat unstable table (drops stale slots). */
+    void unstableRehash(ShardState &sh, std::size_t new_capacity);
 
     hv::Hypervisor &hv_;
     KsmConfig cfg_;
@@ -491,17 +639,22 @@ class KsmScanner : public hv::PageEventListener
     std::uint64_t merges_this_pass_ = 0;
     std::uint64_t merges_total_ = 0;
 
-    /** Stable tree: content digest -> stable frames holding that
-     *  content, in creation order (duplicates past max_page_sharing
-     *  form chains, hence the vector). */
-    std::unordered_map<std::uint64_t, std::vector<Hfn>> stable_tree_;
-
-    /** Unstable tree: flat table of candidate pages seen earlier this
-     *  pass; "cleared" at every pass boundary by bumping pass_epoch_. */
-    std::vector<UnstableSlot> unstable_;
+    /** The merge indexes, partitioned into effectiveCommitShards()
+     *  digest shards (one slice at S = 1: the classic layout). */
+    std::vector<ShardState> shards_;
     std::uint64_t pass_epoch_ = 1;
-    std::size_t unstable_occupied_ = 0; //!< slots with epoch != 0
-    std::size_t unstable_live_ = 0;     //!< slots with epoch == current
+
+    /** Per-shard commit jobs and the residual (non-candidate) work
+     *  indexes, reused across batches. */
+    std::vector<ShardWork> shard_work_;
+    std::vector<std::uint32_t> residual_;
+    /** Reduce scratch: all shards' ops merged by work index. */
+    std::vector<ShardOp> merged_ops_;
+    /** Frames whose generation an *applied* promotion moved, for the
+     *  residual GenCheck decision. */
+    std::unordered_set<Hfn> bumped_;
+    /** Running max of per-batch shard imbalance (see METRICS.md). */
+    std::uint64_t shard_imbalance_max_ = 0;
 
     std::vector<std::vector<PageScanState>> page_state_;
     std::vector<FrameMemo> frame_memo_;
@@ -537,6 +690,29 @@ class KsmScanner : public hv::PageEventListener
     std::uint64_t &stat_precheck_candidates_;
     std::uint64_t &stat_commit_replays_;
     std::uint64_t &stat_pml_skipped_;
+    std::uint64_t &stat_shard_imbalance_;
+    /** hv's own merge counter, cached so the sharded reduce can apply
+     *  deferred merges without a per-merge string lookup. */
+    std::uint64_t &stat_hv_ksm_merges_;
+
+    /**
+     * Wall-clock phase accounting for the two-phase scan, enabled by
+     * setting the JTPS_SCAN_PHASE_MS environment variable: one stderr
+     * line per completed pass, then reset. Measurement only — no
+     * behavioural effect — and the source of the serial-fraction
+     * numbers in docs/PERF.md §9.
+     */
+    struct PhaseMs
+    {
+        double collect = 0;   //!< serial cursor walk
+        double classify = 0;  //!< parallel read-only snapshotting
+        double partition = 0; //!< serial candidate/residual split
+        double shard = 0;     //!< parallel shard commits (wall)
+        double reduce = 0;    //!< serial op/residual interleave
+        double serial = 0;    //!< unsharded commit loop (S == 1)
+    };
+    bool phase_timing_ = false;
+    PhaseMs phase_ms_;
 };
 
 } // namespace jtps::ksm

@@ -11,10 +11,13 @@ FrameTable::FrameTable(std::uint64_t capacity_frames, StatSet *stats)
     : capacity_(capacity_frames), stats_(stats)
 {
     jtps_assert(capacity_frames > 0);
-    // Register at zero so the counter appears in every registry even if
+    ksm_stable_epochs_.fill(1);
+    // Register at zero so the counters appear in every registry even if
     // the sampled-LRU fast path never misses.
-    if (stats_)
+    if (stats_) {
         stats_->counter("host.victim_fallback_sweeps");
+        stats_->counter("host.shard_clock_sweeps");
+    }
 }
 
 Hfn
@@ -40,16 +43,18 @@ FrameTable::allocRaw(const PageData &initial)
     // A recycled hfn gets a fresh generation here, so any cache entry
     // keyed by (hfn, generation) from the previous tenant can never
     // match again.
-    write_gens_[hfn] = ++write_gen_clock_;
+    write_gens_[hfn] = nextGen(0);
     f.refcount = 0;
     f.ksmStable = false;
     f.referenced = true;
     f.lastTouch = ++access_clock_;
     f.pinned = false;
+    f.ksmStripe = 0;
     f.primary = Mapping{};
     f.extra.clear();
     setAllocBit(hfn);
     ++resident_;
+    ++resident_by_stripe_[stripeOfFrame(hfn)];
     if (stats_)
         stats_->inc("host.frames_allocated");
     return hfn;
@@ -66,11 +71,13 @@ FrameTable::freeRaw(Hfn hfn)
         // sharing contribution was removed mapping by mapping; only
         // the stable-frame count remains to drop.
         --ksm_stable_frames_;
+        --stable_by_stripe_[stripeOfFrame(hfn)];
         frames_[hfn].ksmStable = false;
     }
-    frames_[hfn].extra.clear();
+    shrinkExtra(frames_[hfn]);
     free_list_.push_back(hfn);
     --resident_;
+    --resident_by_stripe_[stripeOfFrame(hfn)];
     if (stats_)
         stats_->inc("host.frames_freed");
 }
@@ -105,10 +112,13 @@ FrameTable::addMapping(Hfn hfn, const Mapping &m)
     Frame &f = frame(hfn);
     jtps_assert(!f.pinned);
     jtps_assert(f.refcount >= 1);
+    reserveExtra(f);
     f.extra.push_back(m);
     ++f.refcount;
-    if (f.ksmStable)
+    if (f.ksmStable) {
         ++ksm_sharing_mappings_;
+        ++sharing_by_stripe_[stripeOfFrame(hfn)];
+    }
     if (stats_)
         stats_->inc("host.mappings_added");
 }
@@ -124,7 +134,7 @@ FrameTable::removeMapping(Hfn hfn, const Mapping &m)
     // (its stable-tree node goes stale and will be pruned on the next
     // probe), so cached stable-probe misses must be revalidated.
     if (f.ksmStable)
-        ++ksm_stable_epoch_;
+        ++ksm_stable_epochs_[f.ksmStripe];
 
     if (f.primary == m) {
         if (f.extra.empty()) {
@@ -135,8 +145,11 @@ FrameTable::removeMapping(Hfn hfn, const Mapping &m)
         f.primary = f.extra.back();
         f.extra.pop_back();
         --f.refcount;
-        if (f.ksmStable)
+        if (f.ksmStable) {
             --ksm_sharing_mappings_;
+            --sharing_by_stripe_[stripeOfFrame(hfn)];
+        }
+        shrinkExtra(f);
         return false;
     }
 
@@ -144,8 +157,11 @@ FrameTable::removeMapping(Hfn hfn, const Mapping &m)
     jtps_assert(it != f.extra.end());
     f.extra.erase(it);
     --f.refcount;
-    if (f.ksmStable)
+    if (f.ksmStable) {
         --ksm_sharing_mappings_;
+        --sharing_by_stripe_[stripeOfFrame(hfn)];
+    }
+    shrinkExtra(f);
     return false;
 }
 
@@ -156,22 +172,127 @@ FrameTable::setKsmStable(Hfn hfn, bool stable)
     if (f.ksmStable == stable)
         return;
     jtps_assert(!f.pinned && f.refcount >= 1);
+    if (stable) {
+        // Joining the tree: the epoch stripe is the content's digest
+        // stripe, recorded on the frame so the symmetric transitions
+        // (removeMapping, un-mark, death) bump the same stripe without
+        // re-hashing.
+        f.ksmStripe = static_cast<std::uint8_t>(
+            stripeOfDigest(f.data.digest()));
+    }
     f.ksmStable = stable;
-    ++ksm_stable_epoch_;
+    ++ksm_stable_epochs_[f.ksmStripe];
     // A stable-flag transition also advances the write generation, so
     // a generation recorded while the frame was an ordinary merge
     // candidate can never compare equal once the frame has joined (or
     // left) the stable tree: the scanner's generation fast path may
     // conclude "not stable" from generation equality alone, without
     // loading the Frame.
-    write_gens_[hfn] = ++write_gen_clock_;
+    write_gens_[hfn] = nextGen(0);
+    const unsigned fs = stripeOfFrame(hfn);
     if (stable) {
         ++ksm_stable_frames_;
+        ++stable_by_stripe_[fs];
         ksm_sharing_mappings_ += f.refcount - 1;
+        sharing_by_stripe_[fs] += f.refcount - 1;
     } else {
         --ksm_stable_frames_;
+        --stable_by_stripe_[fs];
         ksm_sharing_mappings_ -= f.refcount - 1;
+        sharing_by_stripe_[fs] -= f.refcount - 1;
     }
+}
+
+void
+FrameTable::addMappingShard(Hfn hfn, const Mapping &m)
+{
+    Frame &f = frame(hfn);
+    jtps_assert(!f.pinned);
+    jtps_assert(f.refcount >= 1);
+    reserveExtra(f);
+    f.extra.push_back(m);
+    ++f.refcount;
+    // Sharing counters and host.mappings_added deferred to
+    // commitSharingAdd() at the serial reduce.
+}
+
+bool
+FrameTable::removeMappingShard(Hfn hfn, const Mapping &m)
+{
+    Frame &f = frame(hfn);
+    jtps_assert(!f.pinned);
+    jtps_assert(f.refcount >= 1);
+    // Commit shards only ever unmap merge sources, which are never
+    // stable — so no epoch bump (whose stripe could belong to another
+    // shard) can be owed here.
+    jtps_assert(!f.ksmStable);
+
+    if (f.primary == m) {
+        if (f.extra.empty()) {
+            // Deferred-free zombie: content stays intact for same-shard
+            // stable probes; finishDeferredFree() reclaims it at the
+            // reduce, in canonical order, keeping the free list
+            // byte-identical to the serial schedule.
+            f.refcount = 0;
+            return true;
+        }
+        f.primary = f.extra.back();
+        f.extra.pop_back();
+        --f.refcount;
+        shrinkExtra(f);
+        return false;
+    }
+
+    auto it = std::find(f.extra.begin(), f.extra.end(), m);
+    jtps_assert(it != f.extra.end());
+    f.extra.erase(it);
+    --f.refcount;
+    shrinkExtra(f);
+    return false;
+}
+
+void
+FrameTable::setKsmStableShard(Hfn hfn, std::uint64_t digest,
+                              unsigned lane)
+{
+    Frame &f = frame(hfn);
+    jtps_assert(!f.ksmStable);
+    jtps_assert(!f.pinned && f.refcount >= 1);
+    f.ksmStripe = static_cast<std::uint8_t>(stripeOfDigest(digest));
+    f.ksmStable = true;
+    ++ksm_stable_epochs_[f.ksmStripe];
+    write_gens_[hfn] = nextGen(lane);
+    // Stable/sharing counters deferred to commitStablePromote().
+}
+
+void
+FrameTable::commitSharingAdd(Hfn hfn)
+{
+    jtps_assert(frame(hfn).ksmStable);
+    ++ksm_sharing_mappings_;
+    ++sharing_by_stripe_[stripeOfFrame(hfn)];
+    if (stats_)
+        stats_->inc("host.mappings_added");
+}
+
+void
+FrameTable::commitStablePromote(Hfn hfn, std::uint32_t refcount_at_set)
+{
+    jtps_assert(frame(hfn).ksmStable);
+    jtps_assert(refcount_at_set >= 1);
+    const unsigned fs = stripeOfFrame(hfn);
+    ++ksm_stable_frames_;
+    ++stable_by_stripe_[fs];
+    ksm_sharing_mappings_ += refcount_at_set - 1;
+    sharing_by_stripe_[fs] += refcount_at_set - 1;
+}
+
+void
+FrameTable::finishDeferredFree(Hfn hfn)
+{
+    jtps_assert(isAllocated(hfn));
+    jtps_assert(frames_[hfn].refcount == 0);
+    freeRaw(hfn);
 }
 
 void
@@ -220,20 +341,35 @@ FrameTable::pickVictim(bool allow_shared)
 
     // Fallback sweep: the sample can miss when few frames are eligible.
     // Counted so overcommit experiments can see when reclaim degrades
-    // from O(1) sampling to O(n) sweeps.
+    // from O(1) sampling to sweeping. The sweep is striped: stripes are
+    // visited round-robin from a persistent cursor and each advances
+    // its own hand over its own bit lane of the allocation bitmap, so
+    // the state a sweep mutates stays per-stripe (no single hot hand on
+    // a 256-VM host) while the visit order stays deterministic.
     if (stats_)
         stats_->inc("host.victim_fallback_sweeps");
-    for (std::uint64_t step = 0; step < frames_.size(); ++step) {
-        const Hfn h = clock_hand_;
-        clock_hand_ = (clock_hand_ + 1) % frames_.size();
-        if (!allocBit(h))
+    for (unsigned i = 0; i < kStripes; ++i) {
+        const unsigned s = (clock_stripe_cursor_ + i) % kStripes;
+        const std::uint64_t count = stripeFrameCount(s);
+        if (count == 0)
             continue;
-        const Frame &f = frames_[h];
-        if (f.pinned)
-            continue;
-        if (f.refcount > 1 && !allow_shared)
-            continue;
-        return h;
+        if (stats_)
+            stats_->inc("host.shard_clock_sweeps");
+        const std::uint64_t pos = clock_hands_[s];
+        for (std::uint64_t step = 0; step < count; ++step) {
+            const std::uint64_t p = (pos + step) % count;
+            const Hfn h = static_cast<Hfn>(s) + p * kStripes;
+            if (!allocBit(h))
+                continue;
+            const Frame &f = frames_[h];
+            if (f.pinned)
+                continue;
+            if (f.refcount > 1 && !allow_shared)
+                continue;
+            clock_hands_[s] = (p + 1) % count;
+            clock_stripe_cursor_ = s;
+            return h;
+        }
     }
     return invalidFrame;
 }
@@ -258,6 +394,11 @@ FrameTable::checkConsistency() const
         if (f.ksmStable) {
             ++stable_count;
             sharing_count += f.refcount - 1;
+            // The recorded epoch stripe must be the content's digest
+            // stripe: stable content never mutates in place (writes
+            // COW off the frame), so the digest recorded at promotion
+            // stays the digest of what the frame holds.
+            jtps_assert(f.ksmStripe == stripeOfDigest(f.data.digest()));
         }
     }
     jtps_assert(resident_count == resident_);
@@ -265,6 +406,48 @@ FrameTable::checkConsistency() const
     // incremental bookkeeping drifted somewhere.
     jtps_assert(stable_count == ksm_stable_frames_);
     jtps_assert(sharing_count == ksm_sharing_mappings_);
+    // And the per-stripe mirrors must tile the globals exactly.
+    std::uint64_t r = 0, st = 0, sh = 0;
+    for (unsigned s = 0; s < kStripes; ++s) {
+        checkConsistencyShard(s);
+        r += resident_by_stripe_[s];
+        st += stable_by_stripe_[s];
+        sh += sharing_by_stripe_[s];
+    }
+    jtps_assert(r == resident_);
+    jtps_assert(st == ksm_stable_frames_);
+    jtps_assert(sh == ksm_sharing_mappings_);
+}
+
+void
+FrameTable::checkConsistencyShard(unsigned stripe) const
+{
+    jtps_assert(stripe < kStripes);
+    std::uint64_t resident_count = 0;
+    std::uint64_t stable_count = 0;
+    std::uint64_t sharing_count = 0;
+    // The stripe's allocation bits are bit `stripe` of every bitmap
+    // word, so the walk is one masked test per 64 frames.
+    const std::uint64_t lane = std::uint64_t{1} << stripe;
+    for (std::size_t w = 0; w < allocated_.size(); ++w) {
+        if (!(allocated_[w] & lane))
+            continue;
+        const Hfn h = (static_cast<Hfn>(w) << 6) | stripe;
+        ++resident_count;
+        const Frame &f = frames_[h];
+        if (f.pinned) {
+            jtps_assert(f.refcount == 1 && f.extra.empty());
+        } else {
+            jtps_assert(f.refcount == 1 + f.extra.size());
+        }
+        if (f.ksmStable) {
+            ++stable_count;
+            sharing_count += f.refcount - 1;
+        }
+    }
+    jtps_assert(resident_count == resident_by_stripe_[stripe]);
+    jtps_assert(stable_count == stable_by_stripe_[stripe]);
+    jtps_assert(sharing_count == sharing_by_stripe_[stripe]);
 }
 
 } // namespace jtps::mem

@@ -12,11 +12,34 @@
  * Eviction uses a two-handed clock (referenced bits set by touch()) so
  * that the overcommit experiments (Figs. 7 and 8) scale to millions of
  * frames without O(n) victim scans.
+ *
+ * Striping (256-VM hosts, docs/ARCHITECTURE.md): the table's derived
+ * state is split into kStripes slices so the KSM commit phase can run
+ * digest-sharded on a thread pool without sharing mutable cache lines:
+ *
+ *  - the KSM stable epoch is one counter *per digest stripe*
+ *    (digest mod kStripes); merges for content in one stripe never
+ *    bump — or read — another stripe's epoch;
+ *  - the sharing counters behind ksmStableFrames()/ksmSharingMappings()
+ *    and the resident count are additionally kept *per frame stripe*
+ *    (hfn mod kStripes) — which is exactly bit (hfn mod 64) of each
+ *    allocation-bitmap word, so a stripe's allocation bits are one
+ *    fixed bit lane of the existing bitmap — giving
+ *    checkConsistencyShard() an O(capacity / kStripes) probe;
+ *  - the write-generation clock is one counter per *lane*: lane 0
+ *    serves every serial mutator, lanes 1..kStripes serve the KSM
+ *    commit shards, and the lane id is encoded in the low bits of each
+ *    generation so values stay globally unique (and per-lane
+ *    deterministic) without any atomics;
+ *  - the eviction fallback sweep keeps one clock hand per frame stripe
+ *    and merges them deterministically (stripes visited round-robin
+ *    from a persistent stripe cursor).
  */
 
 #ifndef JTPS_MEM_FRAME_TABLE_HH
 #define JTPS_MEM_FRAME_TABLE_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -50,6 +73,13 @@ struct Frame
     bool ksmStable = false;  //!< member of the KSM stable tree
     bool referenced = false; //!< accessed bit (kept for introspection)
     bool pinned = false;     //!< never evicted (hypervisor-private)
+    /**
+     * Digest stripe (content digest mod kStripes) recorded when the
+     * frame joined the stable tree, so the transitions that must bump
+     * the stable epoch — losing a mapping, leaving the tree — bump the
+     * stripe the frame's content actually lives in.
+     */
+    std::uint8_t ksmStripe = 0;
     /** First reverse mapping, inline: most frames have exactly one. */
     Mapping primary;
     /** Reverse mappings beyond the first (KSM-shared frames). */
@@ -86,18 +116,52 @@ struct Frame
  * The host frame table: allocation, refcounting, reverse mappings, and
  * clock-based victim selection.
  *
- * Concurrency: the table is single-writer. The const read-side
- * accessors — writeGen(), prefetchWriteGen(), ksmStableEpoch(),
- * frame() const, isAllocated() — are safe to call from multiple
- * threads *while no mutator runs*, which is the regime the parallel
- * KSM classify phase and the forensics walk operate in: they fan
- * read-only work out, join, and only then mutate from one thread.
- * There is no internal synchronization; overlapping a mutator with
- * concurrent readers is a data race.
+ * Concurrency: the table is single-writer for everything except the
+ * KSM commit-shard entry points. The const read-side accessors —
+ * writeGen(), prefetchWriteGen(), ksmStableEpoch(), frame() const,
+ * isAllocated() — are safe to call from multiple threads *while no
+ * mutator runs*, which is the regime the parallel KSM classify phase
+ * and the forensics walk operate in. The *Shard mutators
+ * (addMappingShard, removeMappingShard, setKsmStableShard) may run
+ * concurrently from different commit shards because digest-sharding
+ * guarantees their frame sets, epoch stripes and generation lanes are
+ * disjoint; everything they cannot touch race-free (shared counters,
+ * the free list, the access clock, stats) is deferred to the serial
+ * commit* / finishDeferredFree() completions. There is no internal
+ * synchronization; any overlap outside that protocol is a data race.
  */
 class FrameTable
 {
   public:
+    /**
+     * Stripe fan-out for stable epochs, sharing counters, allocation
+     * bit lanes and clock hands. KSM commit-shard counts must divide
+     * it so a digest shard owns whole epoch stripes.
+     */
+    static constexpr unsigned kStripes = 64;
+
+    /** Low bits of every write generation that carry the lane id. */
+    static constexpr unsigned kGenLaneBits = 7;
+
+    /** Reverse-mapping capacity reserved on a frame's first spill out
+     *  of the inline mapping (16 sharers before the first regrowth),
+     *  so 256-VM KSM chains do not reallocate per merge. */
+    static constexpr std::size_t kExtraReserve = 15;
+
+    /** Digest stripe of @p digest (stable-epoch striping). */
+    static constexpr unsigned
+    stripeOfDigest(std::uint64_t digest)
+    {
+        return static_cast<unsigned>(digest % kStripes);
+    }
+
+    /** Frame stripe of @p hfn (counter/bitmap/clock-hand striping). */
+    static constexpr unsigned
+    stripeOfFrame(Hfn hfn)
+    {
+        return static_cast<unsigned>(hfn % kStripes);
+    }
+
     /**
      * @param capacity_frames Size of host physical memory in frames.
      * @param stats Optional stat sink ("host." prefixed counters).
@@ -135,9 +199,61 @@ class FrameTable
     /**
      * Mark/unmark @p hfn as a KSM stable frame. All stable-flag changes
      * go through here (not through frame().ksmStable) so that the O(1)
-     * sharing counters stay consistent.
+     * sharing counters stay consistent. The frame's content digest is
+     * derived internally to pick the epoch stripe.
      */
     void setKsmStable(Hfn hfn, bool stable);
+
+    // ------------------------------------------------------------------
+    // KSM commit-shard protocol (see the class comment). Shard-side
+    // calls mutate only the frame's own fields plus shard-owned stripe
+    // state; the serial reduce retires the deferred global effects in
+    // canonical order via the commit* / finishDeferredFree() calls.
+    // ------------------------------------------------------------------
+
+    /**
+     * addMapping() restricted to what a commit shard may mutate: the
+     * frame's own fields. The sharing counters and the mappings-added
+     * stat are owed to a later serial commitSharingAdd().
+     */
+    void addMappingShard(Hfn hfn, const Mapping &m);
+
+    /**
+     * removeMapping() restricted to a commit shard: frame fields only,
+     * and never a free — when the last mapping goes, the frame is left
+     * allocated with refcount 0 (content intact, so same-shard stable
+     * probes can still read it) until the serial reduce calls
+     * finishDeferredFree(). Only legal on non-stable frames (commit
+     * merge sources are never stable, so no epoch bump can be owed).
+     * @return true if the frame is now such a deferred-free zombie.
+     */
+    bool removeMappingShard(Hfn hfn, const Mapping &m);
+
+    /**
+     * The shard-side half of setKsmStable(hfn, true): stable flag,
+     * epoch-stripe bump and a fresh write generation from @p lane's
+     * clock — everything same-shard readers depend on mid-commit. The
+     * sharing counters are owed to commitStablePromote(). @p digest
+     * must be the frame's content digest (it selects the stripe).
+     */
+    void setKsmStableShard(Hfn hfn, std::uint64_t digest, unsigned lane);
+
+    /** Serial completion of one deferred addMappingShard() on a stable
+     *  frame: sharing counters and the mappings-added stat. */
+    void commitSharingAdd(Hfn hfn);
+
+    /**
+     * Serial completion of one deferred setKsmStableShard():
+     * stable-frame and sharing counters. @p refcount_at_set must be
+     * the refcount the frame had when the shard set the flag (later
+     * in-shard merges may have grown it since, and those carry their
+     * own commitSharingAdd()).
+     */
+    void commitStablePromote(Hfn hfn, std::uint32_t refcount_at_set);
+
+    /** Serial completion of a removeMappingShard() zombie: the actual
+     *  free (free list, bitmap, resident counters, stats). */
+    void finishDeferredFree(Hfn hfn);
 
     /**
      * Number of KSM stable frames, like /sys/kernel/mm/ksm/pages_shared.
@@ -156,19 +272,21 @@ class FrameTable
     }
 
     /**
-     * Write generation of @p hfn: a value from the table-wide monotonic
+     * Write generation of @p hfn: a value from a monotonic per-lane
      * clock, assigned on allocation and re-assigned on every content
      * change (bumpWriteGen()) and on every stable-flag transition
-     * (setKsmStable()). Because the clock is global and never reused,
-     * an equal generation proves that a cached observation refers to
-     * *this* allocation of the frame number (a freed and recycled hfn
-     * gets a fresh generation from allocRaw()), that the content is
-     * unchanged since the observation, and that the frame has not
-     * joined or left the stable tree in between — which is what lets
-     * the KSM scanner skip checksum work, and even loading the Frame
-     * itself, without any content heuristic. Kept in a dense side
-     * array so the scanner's generation compare touches 8 bytes per
-     * frame instead of a whole Frame.
+     * (setKsmStable()). The lane id lives in the low kGenLaneBits of
+     * the value and every lane counts up independently, so generations
+     * are globally unique and never reused; an equal generation proves
+     * that a cached observation refers to *this* allocation of the
+     * frame number (a freed and recycled hfn gets a fresh generation
+     * from allocRaw()), that the content is unchanged since the
+     * observation, and that the frame has not joined or left the
+     * stable tree in between — which is what lets the KSM scanner skip
+     * checksum work, and even loading the Frame itself, without any
+     * content heuristic. Kept in a dense side array so the scanner's
+     * generation compare touches 8 bytes per frame instead of a whole
+     * Frame.
      */
     std::uint64_t
     writeGen(Hfn hfn) const
@@ -182,12 +300,13 @@ class FrameTable
      * or has just changed, the frame's content). All content mutation
      * funnels through the hypervisor's pageForWrite(), which calls
      * this; fresh allocations get a new generation from allocRaw().
+     * Serial mutators draw from lane 0.
      */
     void
     bumpWriteGen(Hfn hfn)
     {
         jtps_assert(isAllocated(hfn));
-        write_gens_[hfn] = ++write_gen_clock_;
+        write_gens_[hfn] = nextGen(0);
     }
 
     /**
@@ -205,16 +324,23 @@ class FrameTable
     }
 
     /**
-     * Stable-tree epoch: bumped whenever the set of stable frames able
-     * to accept a new sharer can have *grown* — a frame is (un)marked
-     * stable, or a stable frame loses a mapping (its refcount drops
-     * below max_page_sharing, or it dies and its tree node goes
-     * stale). While the epoch is unchanged, a stable-tree probe that
+     * Stable-tree epoch of @p digest's stripe: bumped whenever the set
+     * of stable frames *of that stripe* able to accept a new sharer
+     * can have grown — a frame is (un)marked stable, or a stable frame
+     * loses a mapping (its refcount drops below max_page_sharing, or
+     * it dies and its tree node goes stale). While the stripe's epoch
+     * is unchanged, a stable-tree probe for content in the stripe that
      * missed must still miss: merges only ever make stable frames
      * fuller. The KSM scanner uses this to skip re-probing on behalf
-     * of unchanged pages.
+     * of unchanged pages; striping it by digest is what lets commit
+     * shards read and bump epochs without ever observing another
+     * shard's transitions.
      */
-    std::uint64_t ksmStableEpoch() const { return ksm_stable_epoch_; }
+    std::uint64_t
+    ksmStableEpoch(std::uint64_t digest) const
+    {
+        return ksm_stable_epochs_[stripeOfDigest(digest)];
+    }
 
     /** Mutable access to a frame (must be allocated). */
     Frame &
@@ -248,8 +374,13 @@ class FrameTable
      * one — a good approximation of the kernel's global LRU reclaim
      * that treats every process's memory uniformly by recency. Pinned
      * frames are skipped; frames with refcount > 1 are only eligible
-     * when @p allow_shared is set. Falls back to a linear sweep when
-     * the sample finds nothing eligible.
+     * when @p allow_shared is set. Falls back to a striped clock sweep
+     * when the sample finds nothing eligible: stripes are visited
+     * round-robin from a persistent stripe cursor, each advancing its
+     * own hand over its own bit lane of the allocation bitmap
+     * (`host.shard_clock_sweeps` counts per-stripe sweeps), so the
+     * merged order is deterministic while the sweep state stays one
+     * hand per stripe instead of one global hot word.
      * @return a victim frame number, or invalidFrame if none exists.
      */
     Hfn pickVictim(bool allow_shared);
@@ -287,14 +418,59 @@ class FrameTable
 
     /**
      * Verify internal consistency (refcount matches rmap arity, resident
-     * counter matches allocation bitmap). Used by tests; panics on
-     * violation.
+     * counter matches allocation bitmap, per-stripe counters sum to the
+     * globals). Used by tests; panics on violation.
      */
     void checkConsistency() const;
+
+    /**
+     * checkConsistency() restricted to one frame stripe: walks only
+     * bit @p stripe of each allocation-bitmap word — O(capacity /
+     * kStripes) — and validates the stripe's frames against the
+     * per-stripe counters. Property fuzzes on 256-VM tables probe one
+     * stripe per checkpoint instead of paying the full walk.
+     */
+    void checkConsistencyShard(unsigned stripe) const;
 
   private:
     Hfn allocRaw(const PageData &initial);
     void freeRaw(Hfn hfn);
+
+    /** Next generation from @p lane's clock (never 0: the counter
+     *  starts above 0 and is shifted left of the lane id). */
+    std::uint64_t
+    nextGen(unsigned lane)
+    {
+        jtps_assert(lane <= kStripes);
+        return (++gen_clocks_[lane] << kGenLaneBits) |
+               static_cast<std::uint64_t>(lane);
+    }
+
+    /** First spill out of the inline mapping: reserve once so KSM
+     *  chains grow without per-merge reallocation. */
+    void
+    reserveExtra(Frame &f)
+    {
+        if (f.extra.empty() && f.extra.capacity() == 0)
+            f.extra.reserve(kExtraReserve);
+    }
+
+    /** Last unshare: release the reverse-mapping storage. */
+    void
+    shrinkExtra(Frame &f)
+    {
+        if (f.extra.empty() && f.extra.capacity() != 0)
+            f.extra = std::vector<Mapping>{};
+    }
+
+    /** Frames of @p stripe present in the table (hfn % kStripes ==
+     *  stripe, hfn < frames_.size()). */
+    std::uint64_t
+    stripeFrameCount(unsigned stripe) const
+    {
+        const std::uint64_t n = frames_.size();
+        return n > stripe ? (n - stripe - 1) / kStripes + 1 : 0;
+    }
 
     /** Test @p hfn's allocation bit (hfn < frames_.size() required). */
     bool
@@ -321,18 +497,31 @@ class FrameTable
      *  checkConsistency() cross-checks them against a full walk. */
     std::uint64_t ksm_stable_frames_ = 0;
     std::uint64_t ksm_sharing_mappings_ = 0;
-    /** Monotonic clock behind writeGen(); never yields 0, so a
-     *  zero-initialized cache entry can never match a live frame. */
-    std::uint64_t write_gen_clock_ = 0;
-    std::uint64_t ksm_stable_epoch_ = 1;
+    /** Per-frame-stripe mirrors of resident_/stable/sharing, updated in
+     *  lockstep (serial paths) or via the commit* completions (shard
+     *  paths), so checkConsistencyShard() can recount one stripe. */
+    std::array<std::uint64_t, kStripes> resident_by_stripe_{};
+    std::array<std::uint64_t, kStripes> stable_by_stripe_{};
+    std::array<std::uint64_t, kStripes> sharing_by_stripe_{};
+    /** Per-lane generation clocks (lane 0 = serial mutators, lanes
+     *  1..kStripes = KSM commit shards); see writeGen(). */
+    std::array<std::uint64_t, kStripes + 1> gen_clocks_{};
+    /** Per-digest-stripe stable epochs; start at 1 so a
+     *  zero-initialized cached epoch can never match. */
+    std::array<std::uint64_t, kStripes> ksm_stable_epochs_;
     std::vector<Frame> frames_;
     /** Per-frame write generations, parallel to frames_. */
     std::vector<std::uint64_t> write_gens_;
     /** Allocation bitmap, 64 frames per word (bit i of word w covers
-     *  hfn 64w + i) so forEachResident() can skip empty runs wordwise. */
+     *  hfn 64w + i, i.e. bit i is frame stripe i's lane) so
+     *  forEachResident() can skip empty runs wordwise and per-stripe
+     *  walks mask one bit per word. */
     std::vector<std::uint64_t> allocated_;
     std::vector<Hfn> free_list_;
-    std::uint64_t clock_hand_ = 0;   //!< fallback sweep position
+    /** Fallback sweep positions, one hand per frame stripe, plus the
+     *  stripe the next fallback resumes from. */
+    std::array<std::uint64_t, kStripes> clock_hands_{};
+    unsigned clock_stripe_cursor_ = 0;
     std::uint64_t access_clock_ = 0; //!< logical time for LRU ages
     Rng victim_rng_{stringTag("frame-lru")};
     StatSet *stats_;

@@ -55,6 +55,7 @@ struct Options
     std::string traceFile;
     unsigned analysisThreads = 1;
     unsigned ksmThreads = 1;
+    unsigned ksmCommitShards = 1;
     unsigned guestThreads = 1;
     // Cluster mode (--hosts > 0 switches from one Scenario to a fleet).
     int hosts = 0;
@@ -101,6 +102,9 @@ usage(const char *argv0)
         "                  across N threads (same bytes at any N)\n"
         "  --ksm-threads N  classify KSM scan batches on N threads\n"
         "                  (merges/counters identical at any N)\n"
+        "  --ksm-commit-shards S  commit KSM batches as S digest\n"
+        "                  shards + serial reduce (S divides 64;\n"
+        "                  byte-identical at any S; ignored with PML)\n"
         "  --guest-threads N  stage guest-mutator epochs on N threads\n"
         "                  (counters/traces identical at any N)\n"
         "cluster mode (fleet of independent hosts):\n"
@@ -171,6 +175,9 @@ parse(int argc, char **argv)
         else if (arg == "--ksm-threads")
             opt.ksmThreads =
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (arg == "--ksm-commit-shards")
+            opt.ksmCommitShards =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
         else if (arg == "--guest-threads")
             opt.guestThreads =
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
@@ -188,14 +195,17 @@ parse(int argc, char **argv)
         else
             usage(argv[0]);
     }
-    if (opt.vms < 1 || opt.vms > 32)
-        fatal("--vms must be in [1, 32]");
+    if (opt.vms < 1 || opt.vms > 256)
+        fatal("--vms must be in [1, 256]");
+    if (opt.ksmCommitShards < 1 || opt.ksmCommitShards > 64 ||
+        64 % opt.ksmCommitShards != 0)
+        fatal("--ksm-commit-shards must divide 64 (1, 2, 4, ..., 64)");
     if (opt.adaptiveBalloon && opt.pmlRingSlots == 0)
         fatal("--adaptive-balloon requires --pml-ring N");
     if (opt.hosts < 0 || opt.hosts > 64)
         fatal("--hosts must be in [0, 64]");
-    if (opt.hosts > 0 && (opt.perHost < 1 || opt.perHost > 32))
-        fatal("--per-host must be in [1, 32]");
+    if (opt.hosts > 0 && (opt.perHost < 1 || opt.perHost > 256))
+        fatal("--per-host must be in [1, 256]");
     if (opt.placement != "rr" && opt.placement != "random" &&
         opt.placement != "dedup")
         fatal("unknown --placement '%s'", opt.placement.c_str());
@@ -511,6 +521,7 @@ main(int argc, char **argv)
     cfg.analysisThreads =
         opt.analysisThreads == 0 ? 1 : opt.analysisThreads;
     cfg.ksmScanThreads = opt.ksmThreads == 0 ? 1 : opt.ksmThreads;
+    cfg.ksmCommitShards = opt.ksmCommitShards;
     cfg.guestThreads = opt.guestThreads == 0 ? 1 : opt.guestThreads;
     cfg.pmlRingSlots = opt.pmlRingSlots;
     cfg.adaptiveBalloon = opt.adaptiveBalloon;
