@@ -56,6 +56,7 @@ Scenario::build()
     ksm::KsmConfig kcfg = cfg_.ksm;
     kcfg.scanThreads = cfg_.ksmScanThreads;
     kcfg.commitShards = cfg_.ksmCommitShards;
+    kcfg.batchPages = cfg_.ksmBatchPages;
     if (cfg_.pmlRingSlots > 0)
         kcfg.usePml = true;
     ksm_ = std::make_unique<ksm::KsmScanner>(*hv_, kcfg, stats_);

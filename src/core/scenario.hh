@@ -140,6 +140,16 @@ struct ScenarioConfig
     unsigned ksmCommitShards = 1;
 
     /**
+     * Kernel window size for the scanner's batched content stage
+     * (overrides ksm.batchPages at build()). Another machine-sizing
+     * knob: merges, counters and traces are byte-identical at any
+     * value — only the `ksm.batch_*` accounting moves. 1 disables the
+     * staging and reproduces the one-page-at-a-time visit exactly;
+     * clamped to [1, 128].
+     */
+    std::uint32_t ksmBatchPages = 16;
+
+    /**
      * Per-VM Page-Modification-Log ring size in slots (see
      * hv::HostConfig::pmlRingSlots). Non-zero overrides host.pmlRingSlots
      * AND switches the KSM scanner to its log-driven pass mode

@@ -62,8 +62,11 @@ KsmScanner::KsmScanner(hv::Hypervisor &hv, const KsmConfig &cfg,
       stat_commit_replays_(stats.counter("ksm.commit_replays")),
       stat_pml_skipped_(stats.counter("ksm.pages_pml_skipped")),
       stat_shard_imbalance_(stats.counter("ksm.shard_imbalance_max")),
+      stat_batch_kernel_pages_(stats.counter("ksm.batch_kernel_pages")),
+      stat_batch_flushes_(stats.counter("ksm.batch_flushes")),
       stat_hv_ksm_merges_(hv.stats().counter("hv.ksm_merges"))
 {
+    cfg_.batchPages = std::clamp<std::uint32_t>(cfg_.batchPages, 1, 128);
     // Log-driven passes are only complete if every write has been
     // funneled into a ring since the VMs existed.
     jtps_assert(!cfg_.usePml || hv_.pmlEnabled());
@@ -159,8 +162,10 @@ KsmScanner::frameMemo(Hfn hfn)
 }
 
 std::uint64_t
-KsmScanner::memoDigest(Hfn hfn, std::uint64_t gen,
-                       const mem::PageData &data)
+KsmScanner::cachedDigest(Hfn hfn, std::uint64_t gen,
+                         const mem::PageData &data,
+                         const std::uint64_t *pre,
+                         std::uint64_t &digest_hits)
 {
     FrameMemo &m = frameMemo(hfn);
     if (m.gen != gen) {
@@ -168,17 +173,21 @@ KsmScanner::memoDigest(Hfn hfn, std::uint64_t gen,
         m.gen = gen;
     }
     if (m.hasDigest) {
-        ++stat_digest_cache_hits_;
+        ++digest_hits;
         return m.digest;
     }
-    m.digest = data.digest();
+    // Memo miss: a precomputed value (classify snapshot under its
+    // generation proof, or a content-pure batch-kernel value) stands
+    // in for the recompute; the memo end-state is identical.
+    m.digest = pre ? *pre : data.digest();
     m.hasDigest = true;
     return m.digest;
 }
 
 std::uint32_t
-KsmScanner::memoChecksum(Hfn hfn, std::uint64_t gen,
-                         const mem::PageData &data)
+KsmScanner::cachedChecksum(Hfn hfn, std::uint64_t gen,
+                           const mem::PageData &data,
+                           const std::uint32_t *pre)
 {
     FrameMemo &m = frameMemo(hfn);
     if (m.gen != gen) {
@@ -186,10 +195,75 @@ KsmScanner::memoChecksum(Hfn hfn, std::uint64_t gen,
         m.gen = gen;
     }
     if (!m.hasChecksum) {
-        m.checksum = data.checksum();
+        m.checksum = pre ? *pre : data.checksum();
         m.hasChecksum = true;
     }
     return m.checksum;
+}
+
+std::uint64_t
+KsmScanner::genCalmDigest(mem::FrameTable &ft, Hfn hfn,
+                          std::uint64_t gen, PageScanState &ps,
+                          const mem::PageData *&data,
+                          const std::uint64_t *pre,
+                          std::uint64_t &digest_hits,
+                          bool &skip_stable_probe)
+{
+    // Generation fast path, non-stable: serve the digest from the
+    // per-page cache, falling back to the frame memo (first revisit),
+    // and derive the epoch-proved stable-probe skip. Shared verbatim
+    // by the serial visit, the commit replay and the shard commits —
+    // only the counter sinks differ.
+    std::uint64_t digest;
+    if (ps.digestValid) {
+        ++digest_hits;
+        digest = ps.lastDigest;
+    } else {
+        data = &ft.frame(hfn).data;
+        digest = cachedDigest(hfn, gen, *data, pre, digest_hits);
+        ps.lastDigest = digest;
+        ps.digestValid = true;
+    }
+    skip_stable_probe = ps.lastStableEpoch != 0 &&
+                        ps.lastStableEpoch == ft.ksmStableEpoch(digest);
+    return digest;
+}
+
+bool
+KsmScanner::slowPathContent(mem::FrameTable &ft, Hfn hfn,
+                            std::uint64_t gen, PageScanState &ps,
+                            const mem::PageData *&data,
+                            const std::uint32_t *pre_sum,
+                            const std::uint64_t *pre_dig,
+                            std::uint64_t &digest_hits,
+                            std::uint64_t &digest_out)
+{
+    // Slow path, non-stable: the calm protocol. Identical compare to
+    // the one the in-EPT checksum used to implement; the state lives
+    // in the scanner's per-page row.
+    if (!data)
+        data = &ft.frame(hfn).data;
+    const std::uint32_t sum =
+        cfg_.incrementalScan ? cachedChecksum(hfn, gen, *data, pre_sum)
+                             : (pre_sum ? *pre_sum : data->checksum());
+    const bool calm = ps.checksumValid && ps.lastChecksum == sum;
+    ps.lastChecksum = sum;
+    ps.checksumValid = true;
+    ps.lastGen = gen;
+    ps.lastStable = false;
+    ps.lastStableEpoch = 0;
+    ps.digestValid = false;
+    if (!calm)
+        return false; // the caller counts not_calm and stops
+    digest_out =
+        cfg_.incrementalScan
+            ? cachedDigest(hfn, gen, *data, pre_dig, digest_hits)
+            : (pre_dig ? *pre_dig : data->digest());
+    if (cfg_.incrementalScan) {
+        ps.lastDigest = digest_out;
+        ps.digestValid = true;
+    }
+    return true;
 }
 
 void
@@ -259,7 +333,8 @@ KsmScanner::stableLookup(ShardState &sh, const mem::PageData &data,
 
 bool
 KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
-                    mem::FrameTable &ft, PageScanState *psv)
+                    mem::FrameTable &ft, PageScanState *psv,
+                    const BatchPre *pre)
 {
     const hv::EptEntry &e = v.ept.entry(gfn);
     if (e.state != hv::PageState::Resident)
@@ -298,17 +373,10 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
         ++stat_gen_skipped_;
         if (ps.lastStable)
             return true; // provably still a shared KSM page
-        if (ps.digestValid) {
-            ++stat_digest_cache_hits_;
-            digest = ps.lastDigest;
-        } else {
-            data = &ft.frame(hfn).data;
-            digest = memoDigest(hfn, gen, *data);
-            ps.lastDigest = digest;
-            ps.digestValid = true;
-        }
-        skip_stable_probe = ps.lastStableEpoch != 0 &&
-                            ps.lastStableEpoch == ft.ksmStableEpoch(digest);
+        digest = genCalmDigest(ft, hfn, gen, ps, data,
+                               pre && pre->hasDig ? &pre->dig : nullptr,
+                               stat_digest_cache_hits_,
+                               skip_stable_probe);
     } else {
         const mem::Frame &frame = ft.frame(hfn);
         if (frame.ksmStable) {
@@ -325,29 +393,12 @@ KsmScanner::scanOne(VmId vm, Gfn gfn, const hv::Vm &v,
             return true; // already a shared KSM page
         }
         data = &frame.data;
-
-        // Calm check: skip pages whose content changed since the last
-        // visit. Identical compare to the one the in-EPT checksum used
-        // to implement; the state now lives here in the scanner.
-        const std::uint32_t sum = cfg_.incrementalScan
-                                      ? memoChecksum(hfn, gen, *data)
-                                      : data->checksum();
-        const bool calm = ps.checksumValid && ps.lastChecksum == sum;
-        ps.lastChecksum = sum;
-        ps.checksumValid = true;
-        ps.lastGen = gen;
-        ps.lastStable = false;
-        ps.lastStableEpoch = 0;
-        ps.digestValid = false;
-        if (!calm) {
+        if (!slowPathContent(ft, hfn, gen, ps, data,
+                             pre && pre->hasSum ? &pre->sum : nullptr,
+                             pre && pre->hasDig ? &pre->dig : nullptr,
+                             stat_digest_cache_hits_, digest)) {
             ++stat_not_calm_;
             return true;
-        }
-        digest = cfg_.incrementalScan ? memoDigest(hfn, gen, *data)
-                                      : data->digest();
-        if (cfg_.incrementalScan) {
-            ps.lastDigest = digest;
-            ps.digestValid = true;
         }
     }
 
@@ -546,12 +597,12 @@ KsmScanner::passBoundary()
     if (phase_timing_) {
         std::fprintf(stderr,
                      "[scan-phase] pass %llu: collect %.1f classify "
-                     "%.1f partition %.1f shard %.1f reduce %.1f "
-                     "serial %.1f ms\n",
+                     "%.1f kernel %.1f partition %.1f shard %.1f "
+                     "reduce %.1f serial %.1f ms\n",
                      (unsigned long long)full_scans_, phase_ms_.collect,
-                     phase_ms_.classify, phase_ms_.partition,
-                     phase_ms_.shard, phase_ms_.reduce,
-                     phase_ms_.serial);
+                     phase_ms_.classify, phase_ms_.kernel,
+                     phase_ms_.partition, phase_ms_.shard,
+                     phase_ms_.reduce, phase_ms_.serial);
         phase_ms_ = PhaseMs{};
     }
     if (!cfg_.usePml) {
@@ -607,6 +658,33 @@ KsmScanner::passBoundary()
                   merges_total_);
 }
 
+void
+KsmScanner::visitLookahead(const hv::Vm &v, const PageScanState *psv,
+                           Gfn gfn, Gfn gfn_end,
+                           const mem::FrameTable &ft) const
+{
+    // The two random-access lines of a steady-state visit — the
+    // frame's write generation (indexed by hfn) and the unstable-table
+    // slot (indexed by digest hash) — are prefetched a few pages ahead
+    // from the sequentially walked EPT and page-state rows, hiding
+    // their miss latency behind the visits in between. Pure hints: the
+    // scan itself never depends on them.
+    constexpr Gfn prefetchDist = 16;
+    if (gfn + prefetchDist >= gfn_end)
+        return;
+    const hv::EptEntry &pe = v.ept.entry(gfn + prefetchDist);
+    if (pe.state == hv::PageState::Resident)
+        ft.prefetchWriteGen(pe.backing);
+    const PageScanState &pps = psv[gfn + prefetchDist];
+    if (pps.digestValid) {
+        // Two lines: collision chains average a couple of slots, and a
+        // 32-byte slot at an odd index walks into the next line
+        // immediately. rw=1 because the common case re-inserts into
+        // the probed chain.
+        prefetchUnstableSlot(pps.lastDigest);
+    }
+}
+
 bool
 KsmScanner::advanceCursor()
 {
@@ -638,6 +716,8 @@ KsmScanner::scanBatch()
 std::uint64_t
 KsmScanner::scanBatchSerial()
 {
+    if (cfg_.batchPages > 1)
+        return scanBatchSerialBatched();
     mem::FrameTable &ft = hv_.frames();
     std::uint64_t visited = 0;
     while (visited < cfg_.pagesToScan) {
@@ -657,35 +737,7 @@ KsmScanner::scanBatchSerial()
         PageScanState *psv = pageStateRow(cur_vm_, v);
         const Gfn gfn_end = v.ept.size();
         while (cur_gfn_ < gfn_end && visited < cfg_.pagesToScan) {
-            // The two random-access lines of a steady-state visit —
-            // the frame's write generation (indexed by hfn) and the
-            // unstable-table slot (indexed by digest hash) — are
-            // prefetched a few pages ahead from the sequentially
-            // walked EPT and page-state rows, hiding their miss
-            // latency behind the visits in between. Pure hints: the
-            // scan itself never depends on them.
-            constexpr Gfn prefetchDist = 16;
-            if (cur_gfn_ + prefetchDist < gfn_end) {
-                const hv::EptEntry &pe = v.ept.entry(cur_gfn_ +
-                                                     prefetchDist);
-                if (pe.state == hv::PageState::Resident)
-                    ft.prefetchWriteGen(pe.backing);
-                const PageScanState &pps = psv[cur_gfn_ + prefetchDist];
-                if (pps.digestValid) {
-                    // Two lines: collision chains average a couple of
-                    // slots, and a 32-byte slot at an odd index walks
-                    // into the next line immediately. rw=1 because the
-                    // common case re-inserts into the probed chain.
-                    const auto &pun =
-                        shards_[shardFor(pps.lastDigest)].unstable;
-                    const std::size_t h =
-                        unstableSlotHash(pps.lastDigest) &
-                        (pun.size() - 1);
-                    __builtin_prefetch(pun.data() + h, 1);
-                    __builtin_prefetch(
-                        pun.data() + ((h + 2) & (pun.size() - 1)), 1);
-                }
-            }
+            visitLookahead(v, psv, cur_gfn_, gfn_end, ft);
             if (scanOne(cur_vm_, cur_gfn_, v, ft, psv))
                 ++visited;
             ++cur_gfn_;
@@ -693,6 +745,285 @@ KsmScanner::scanBatchSerial()
     }
     stat_pages_visited_ += visited;
     return visited;
+}
+
+std::uint64_t
+KsmScanner::scanBatchSerialBatched()
+{
+    // Software-pipelined serial visitor: gather a window of resident
+    // candidates (consuming the cursor and the scan budget exactly as
+    // the per-page loop does), stage the content kernels lane-parallel
+    // over the whole window, then apply the unchanged per-page visits
+    // on the precomputed values. Page content, residency and huge
+    // flags are frozen for the window — no guest runs mid-batch and
+    // the scanner never writes page data — so a precomputed value is
+    // always what the visit would have computed; visits that stop
+    // before needing one (a frame an earlier visit in the window just
+    // promoted, say) simply ignore it, exactly like an unused
+    // classify snapshot.
+    mem::FrameTable &ft = hv_.frames();
+    KernelStage &ks = serial_stage_;
+    std::uint64_t visited = 0;
+    while (visited < cfg_.pagesToScan) {
+        if (!advanceCursor())
+            break; // pass boundary: bounded wake, as in the 1-page loop
+        const hv::Vm &v = hv_.vm(cur_vm_);
+        PageScanState *psv = pageStateRow(cur_vm_, v);
+        const Gfn gfn_end = v.ept.size();
+        while (cur_gfn_ < gfn_end && visited < cfg_.pagesToScan) {
+            ks.clearWindow();
+            while (cur_gfn_ < gfn_end && visited < cfg_.pagesToScan &&
+                   ks.count() < cfg_.batchPages) {
+                visitLookahead(v, psv, cur_gfn_, gfn_end, ft);
+                const hv::EptEntry &e = v.ept.entry(cur_gfn_);
+                if (e.state == hv::PageState::Resident) {
+                    // Settled revisits bypass the window while it is
+                    // empty: a converged region then costs what the
+                    // scalar visitor costs — same lookahead prefetch,
+                    // same visit, no staging detour. Visit order is
+                    // preserved — the bypass only runs with nothing
+                    // staged ahead of it, and settled pages hit
+                    // mid-gather simply join the window and apply in
+                    // sequence. Generation equality needs the huge
+                    // check first: a THP flip rebacks the page, so a
+                    // stale row could otherwise alias the new frame.
+                    bool direct = false;
+                    if (ks.count() == 0 && cfg_.incrementalScan &&
+                        (v.hugePages.empty() || !v.hugePages[cur_gfn_])) {
+                        const PageScanState &ps = psv[cur_gfn_];
+                        if (ps.lastGen == ft.writeGen(e.backing)) {
+                            if (ps.lastStable) {
+                                // The whole visit (see stageWindow).
+                                ++stat_gen_skipped_;
+                                direct = true;
+                            } else if (ps.digestValid) {
+                                scanOne(cur_vm_, cur_gfn_, v, ft, psv);
+                                direct = true;
+                            }
+                        }
+                    }
+                    if (!direct) {
+                        ks.push(&v, psv, cur_gfn_);
+                        ft.prefetchWriteGen(e.backing);
+                    }
+                    ++visited;
+                }
+                ++cur_gfn_;
+            }
+            if (ks.count() == 0)
+                continue; // ran off the VM (or budget) gathering
+            stageWindow(ft, ks, /*consult_memo=*/true);
+            if (phase_timing_) {
+                // Fold per-window so a pass boundary inside this batch
+                // prints the kernel time of its own pass.
+                phase_ms_.kernel += ks.kernelMs;
+                ks.kernelMs = 0.0;
+            }
+            for (std::size_t k = 0; k < ks.count(); ++k) {
+                if (ks.stableSettled[k]) {
+                    // The staged verdict is the whole visit (see
+                    // stageWindow pass 0): scanOne would re-derive
+                    // lastStable + generation equality and return.
+                    ++stat_gen_skipped_;
+                    continue;
+                }
+                scanOne(cur_vm_, ks.gfns[k], v, ft, psv, &ks.pre[k]);
+            }
+        }
+    }
+    stat_pages_visited_ += visited;
+    stat_batch_kernel_pages_ += ks.kernelPages;
+    stat_batch_flushes_ += ks.flushes;
+    ks.kernelPages = 0;
+    ks.flushes = 0;
+    return visited;
+}
+
+void
+KsmScanner::prefetchUnstableSlot(std::uint64_t digest) const
+{
+    const auto &pun = shards_[shardFor(digest)].unstable;
+    const std::size_t h = unstableSlotHash(digest) & (pun.size() - 1);
+    __builtin_prefetch(pun.data() + h, 1);
+    __builtin_prefetch(pun.data() + ((h + 2) & (pun.size() - 1)), 1);
+}
+
+void
+KsmScanner::stageWindow(const mem::FrameTable &ft, KernelStage &ks,
+                        bool consult_memo) const
+{
+    const double t0 = phase_timing_ ? phaseNowMs() : 0.0;
+    const std::size_t n = ks.count();
+    ks.pre.assign(n, BatchPre{});
+    ks.data.assign(n, nullptr);
+    ks.hfns.resize(n);
+    ks.gens.resize(n);
+    ks.stableSettled.assign(n, 0);
+    ks.sumPages.clear();
+    ks.sumLane.clear();
+    ks.digPages.clear();
+    ks.digLane.clear();
+    ks.calmIdx.clear();
+    ks.needyIdx.clear();
+
+    // Pass 0: mirror each visit's settle checks — huge skip, then the
+    // generation test against per-page state only that visit may
+    // mutate — touching nothing but the compact generation lane. A
+    // settled revisit never loads its frame, so the frame lines are
+    // prefetched only for the survivors; pulling them for every item
+    // would trash the cache on converged passes where nearly all of
+    // the window settles.
+    for (std::size_t k = 0; k < n; ++k) {
+        const hv::Vm &v = *ks.vms[k];
+        const Gfn gfn = ks.gfns[k];
+        if (!v.hugePages.empty() && v.hugePages[gfn]) {
+            ks.hfns[k] = invalidFrame; // the visit never loads content
+            continue;
+        }
+        const Hfn hfn = v.ept.entry(gfn).backing;
+        ks.hfns[k] = hfn;
+        const std::uint64_t gen = ft.writeGen(hfn);
+        ks.gens[k] = gen;
+        const PageScanState &ps = ks.rows[k][gfn];
+        if (cfg_.incrementalScan && ps.lastGen == gen &&
+            (ps.lastStable || ps.digestValid)) {
+            // Settled without content. The lastStable subset is the
+            // whole visit — count the generation skip and return — and
+            // its verdict cannot go stale mid-window: only this visit
+            // mutates this row, and a mapped stable frame's generation
+            // never moves during a scan wake (no guest writes, merges
+            // into it only add sharers, transitions happen on
+            // non-stable frames). The serial apply loop may take it on
+            // faith; digestValid items still run their full visit for
+            // the tree work.
+            ks.stableSettled[k] = ps.lastStable ? 1 : 0;
+            if (!ps.lastStable)
+                prefetchUnstableSlot(ps.lastDigest);
+            continue;
+        }
+        ks.needyIdx.push_back(static_cast<std::uint32_t>(k));
+        ft.prefetchFrame(hfn);
+    }
+
+    // Pass 1: mirror the surviving visits' decision trees (read-only,
+    // against state frozen until each visit runs) down to their first
+    // content computation, and stage the checksum lanes. The frame
+    // reads here are what pass 0's prefetches cover.
+    for (const std::uint32_t k : ks.needyIdx) {
+        const Hfn hfn = ks.hfns[k];
+        const std::uint64_t gen = ks.gens[k];
+        const PageScanState &ps = ks.rows[k][ks.gfns[k]];
+        if (cfg_.incrementalScan && ps.lastGen == gen) {
+            // Gen-calm first revisit: the visit wants the digest.
+            if (consult_memo && hfn < frame_memo_.size()) {
+                const FrameMemo &m = frame_memo_[hfn];
+                if (m.gen == gen && m.hasDigest) {
+                    prefetchUnstableSlot(m.digest);
+                    continue; // the memo will serve it
+                }
+            }
+            const mem::PageData *d = &ft.frame(hfn).data;
+            ks.data[k] = d;
+            if (d->isZero()) {
+                // Zero-page fast path: the constants fold at compile
+                // time, no kernel lane spent.
+                ks.pre[k].dig = mem::zeroPageDigest;
+                ks.pre[k].hasDig = true;
+            } else {
+                ks.digPages.push_back(d);
+                ks.digLane.push_back(k);
+            }
+        } else {
+            const mem::Frame &frame = ft.frame(hfn);
+            if (frame.ksmStable)
+                continue; // stable fast path: no content work
+            const mem::PageData *d = &frame.data;
+            ks.data[k] = d;
+            ks.calmIdx.push_back(k);
+            if (consult_memo && cfg_.incrementalScan &&
+                hfn < frame_memo_.size()) {
+                const FrameMemo &m = frame_memo_[hfn];
+                if (m.gen == gen && m.hasChecksum) {
+                    // The memo will serve the visit; copy the value
+                    // for the calm prediction below.
+                    ks.pre[k].sum = m.checksum;
+                    ks.pre[k].hasSum = true;
+                    continue;
+                }
+            }
+            if (d->isZero()) {
+                ks.pre[k].sum = mem::zeroPageChecksum;
+                ks.pre[k].hasSum = true;
+            } else {
+                ks.sumPages.push_back(d);
+                ks.sumLane.push_back(k);
+            }
+        }
+    }
+
+    // Pass 2: the checksum kernel.
+    if (!ks.sumPages.empty()) {
+        ks.sums.resize(ks.sumPages.size());
+        mem::checksumBatch(ks.sumPages.data(), ks.sums.data(),
+                           ks.sumPages.size());
+        for (std::size_t i = 0; i < ks.sumPages.size(); ++i) {
+            ks.pre[ks.sumLane[i]].sum = ks.sums[i];
+            ks.pre[ks.sumLane[i]].hasSum = true;
+        }
+    }
+
+    // Pass 3: calm prediction — the same compare the visit will make,
+    // against per-page state only that visit may mutate — staging the
+    // digest lanes for pages that will pass it.
+    for (const std::uint32_t k : ks.calmIdx) {
+        const PageScanState &ps = ks.rows[k][ks.gfns[k]];
+        if (!(ps.checksumValid && ps.lastChecksum == ks.pre[k].sum))
+            continue; // not calm: the visit stops at the checksum
+        const Hfn hfn = ks.hfns[k];
+        if (consult_memo && cfg_.incrementalScan &&
+            hfn < frame_memo_.size()) {
+            const FrameMemo &m = frame_memo_[hfn];
+            if (m.gen == ks.gens[k] && m.hasDigest)
+                continue;
+        }
+        const mem::PageData *d = ks.data[k];
+        if (d->isZero()) {
+            ks.pre[k].dig = mem::zeroPageDigest;
+            ks.pre[k].hasDig = true;
+        } else {
+            ks.digPages.push_back(d);
+            ks.digLane.push_back(k);
+        }
+    }
+
+    // Pass 4: the digest kernel (gen-calm and freshly-calm needs).
+    if (!ks.digPages.empty()) {
+        ks.digs.resize(ks.digPages.size());
+        mem::digestBatch(ks.digPages.data(), ks.digs.data(),
+                         ks.digPages.size());
+        for (std::size_t i = 0; i < ks.digPages.size(); ++i) {
+            ks.pre[ks.digLane[i]].dig = ks.digs[i];
+            ks.pre[ks.digLane[i]].hasDig = true;
+        }
+    }
+
+    // Pass 5: with the window's actual digests in hand, hint the
+    // unstable-table slots the visits are about to probe. The scalar
+    // visitor's lookahead prefetch only helps revisits (it keys off
+    // the digest recorded last pass); a cold page's first calm visit
+    // gets its slot hinted here, from the value the probe will really
+    // use. Pure hints: an earlier visit growing the table only makes
+    // them stale, never wrong.
+    for (std::size_t k = 0; k < n; ++k)
+        if (ks.pre[k].hasDig)
+            prefetchUnstableSlot(ks.pre[k].dig);
+
+    const std::uint64_t lanes = ks.sumPages.size() + ks.digPages.size();
+    ks.kernelPages += lanes;
+    if (lanes > 0)
+        ++ks.flushes;
+    if (phase_timing_)
+        ks.kernelMs += phaseNowMs() - t0;
 }
 
 bool
@@ -718,7 +1049,8 @@ KsmScanner::stableProbeCleanMiss(const mem::FrameTable &ft,
 void
 KsmScanner::classifyOne(Gfn gfn, const hv::Vm &v,
                         const mem::FrameTable &ft,
-                        const PageScanState *psv, PageSnap &snap) const
+                        const PageScanState *psv, PageSnap &snap,
+                        const BatchPre *pre) const
 {
     // Residency was established by the collect walk and is frozen for
     // the batch (the scanner never allocates, evicts or discards), so
@@ -746,7 +1078,8 @@ KsmScanner::classifyOne(Gfn gfn, const hv::Vm &v,
         if (ps.digestValid) {
             digest = ps.lastDigest;
         } else {
-            digest = ft.frame(hfn).data.digest();
+            digest = pre && pre->hasDig ? pre->dig
+                                        : ft.frame(hfn).data.digest();
             snap.digest = digest;
             snap.hasDigest = true;
         }
@@ -762,7 +1095,8 @@ KsmScanner::classifyOne(Gfn gfn, const hv::Vm &v,
             return;
         }
         const mem::PageData &data = ft.frame(hfn).data;
-        const std::uint32_t sum = data.checksum();
+        const std::uint32_t sum =
+            pre && pre->hasSum ? pre->sum : data.checksum();
         snap.checksum = sum;
         snap.hasChecksum = true;
         if (!(ps.checksumValid && ps.lastChecksum == sum)) {
@@ -770,7 +1104,7 @@ KsmScanner::classifyOne(Gfn gfn, const hv::Vm &v,
             return;
         }
         snap.kind = PageSnap::Kind::SlowCalm;
-        digest = data.digest();
+        digest = pre && pre->hasDig ? pre->dig : data.digest();
         snap.digest = digest;
         snap.hasDigest = true;
     }
@@ -791,6 +1125,46 @@ KsmScanner::classifyRange(const mem::FrameTable &ft, std::size_t begin,
     const hv::Vm *v = nullptr;
     const PageScanState *psv = nullptr;
     const hv::Hypervisor &chv = hv_;
+    if (cfg_.batchPages > 1) {
+        // Software-pipelined form: stage a window of items through the
+        // lane-parallel kernels, then classify each on the precomputed
+        // values. Windows restart at the shard span's start, so for a
+        // fixed scanShardPages the window shapes — hence the batch
+        // counters — are thread-count invariant. The stage is local:
+        // workers run concurrently and snaps_ rows don't overlap.
+        KernelStage ks;
+        for (std::size_t i = begin; i < end;) {
+            const std::size_t wend =
+                std::min(end, i + cfg_.batchPages);
+            ks.clearWindow();
+            for (std::size_t j = i; j < wend; ++j) {
+                const WorkItem w = work_[j];
+                if (w.vm != last_vm) {
+                    v = &chv.vm(w.vm);
+                    psv = page_state_[w.vm].data();
+                    last_vm = w.vm;
+                }
+                ks.push(v, psv, w.gfn);
+            }
+            stageWindow(ft, ks, false);
+            for (std::size_t j = i; j < wend; ++j) {
+                const WorkItem w = work_[j];
+                const std::size_t k = j - i;
+                classifyOne(w.gfn, *ks.vms[k], ft, ks.rows[k],
+                            snaps_[j], &ks.pre[k]);
+            }
+            i = wend;
+        }
+        batch_pages_acc_.fetch_add(ks.kernelPages,
+                                   std::memory_order_relaxed);
+        batch_flush_acc_.fetch_add(ks.flushes,
+                                   std::memory_order_relaxed);
+        if (phase_timing_)
+            kernel_ns_acc_.fetch_add(
+                static_cast<std::uint64_t>(ks.kernelMs * 1e6),
+                std::memory_order_relaxed);
+        return;
+    }
     for (std::size_t i = begin; i < end; ++i) {
         const WorkItem w = work_[i];
         if (w.vm != last_vm) {
@@ -800,42 +1174,6 @@ KsmScanner::classifyRange(const mem::FrameTable &ft, std::size_t begin,
         }
         classifyOne(w.gfn, *v, ft, psv, snaps_[i]);
     }
-}
-
-std::uint64_t
-KsmScanner::commitDigest(Hfn hfn, std::uint64_t gen,
-                         const PageSnap &snap, const mem::PageData &data,
-                         std::uint64_t &digest_hits)
-{
-    FrameMemo &m = frameMemo(hfn);
-    if (m.gen != gen) {
-        m = FrameMemo{};
-        m.gen = gen;
-    }
-    if (m.hasDigest) {
-        ++digest_hits;
-        return m.digest;
-    }
-    m.digest = snap.hasDigest ? snap.digest : data.digest();
-    m.hasDigest = true;
-    return m.digest;
-}
-
-std::uint32_t
-KsmScanner::commitChecksum(Hfn hfn, std::uint64_t gen,
-                           const PageSnap &snap,
-                           const mem::PageData &data)
-{
-    FrameMemo &m = frameMemo(hfn);
-    if (m.gen != gen) {
-        m = FrameMemo{};
-        m.gen = gen;
-    }
-    if (!m.hasChecksum) {
-        m.checksum = snap.hasChecksum ? snap.checksum : data.checksum();
-        m.hasChecksum = true;
-    }
-    return m.checksum;
 }
 
 void
@@ -881,18 +1219,10 @@ KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
         return;
     case PageSnap::Kind::GenCalm:
         ++stat_gen_skipped_;
-        if (ps.digestValid) {
-            ++stat_digest_cache_hits_;
-            digest = ps.lastDigest;
-        } else {
-            data = &ft.frame(hfn).data;
-            digest = commitDigest(hfn, gen, snap, *data,
-                                  stat_digest_cache_hits_);
-            ps.lastDigest = digest;
-            ps.digestValid = true;
-        }
-        skip_stable_probe = ps.lastStableEpoch != 0 &&
-                            ps.lastStableEpoch == ft.ksmStableEpoch(digest);
+        digest = genCalmDigest(ft, hfn, gen, ps, data,
+                               snap.hasDigest ? &snap.digest : nullptr,
+                               stat_digest_cache_hits_,
+                               skip_stable_probe);
         break;
     case PageSnap::Kind::SlowStable:
         if (cfg_.incrementalScan) {
@@ -903,31 +1233,19 @@ KsmScanner::commitOne(VmId vm, Gfn gfn, const hv::Vm &v,
         }
         return;
     case PageSnap::Kind::NotCalm:
-    case PageSnap::Kind::SlowCalm: {
+    case PageSnap::Kind::SlowCalm:
+        // slowPathContent re-derives calm from the frozen ps; since
+        // classify computed the same checksum against the same state,
+        // the verdict always matches snap.kind.
         data = &ft.frame(hfn).data;
-        const std::uint32_t sum =
-            cfg_.incrementalScan ? commitChecksum(hfn, gen, snap, *data)
-                                 : snap.checksum;
-        ps.lastChecksum = sum;
-        ps.checksumValid = true;
-        ps.lastGen = gen;
-        ps.lastStable = false;
-        ps.lastStableEpoch = 0;
-        ps.digestValid = false;
-        if (snap.kind == PageSnap::Kind::NotCalm) {
+        if (!slowPathContent(ft, hfn, gen, ps, data,
+                             snap.hasChecksum ? &snap.checksum : nullptr,
+                             snap.hasDigest ? &snap.digest : nullptr,
+                             stat_digest_cache_hits_, digest)) {
             ++stat_not_calm_;
             return;
         }
-        digest = cfg_.incrementalScan
-                     ? commitDigest(hfn, gen, snap, *data,
-                                    stat_digest_cache_hits_)
-                     : snap.digest;
-        if (cfg_.incrementalScan) {
-            ps.lastDigest = digest;
-            ps.digestValid = true;
-        }
         break;
-    }
     }
 
     treeStage(vm, gfn, ft, ps, hfn, digest, data, skip_stable_probe,
@@ -1004,6 +1322,18 @@ KsmScanner::classifyAndCommit()
         }
         pool_->wait();
         stat_scan_shards_ += shards;
+        // Fold the workers' batch-kernel accounting. The folded values
+        // are sums over fixed-shape windows (scanShardPages spans ÷
+        // batchPages), so they are identical at any thread count.
+        stat_batch_kernel_pages_ +=
+            batch_pages_acc_.exchange(0, std::memory_order_relaxed);
+        stat_batch_flushes_ +=
+            batch_flush_acc_.exchange(0, std::memory_order_relaxed);
+        if (phase_timing_)
+            phase_ms_.kernel +=
+                static_cast<double>(kernel_ns_acc_.exchange(
+                    0, std::memory_order_relaxed)) *
+                1e-6;
     }
     if (phase_timing_)
         phase_ms_.classify += phaseNowMs() - t_classify;
@@ -1227,39 +1557,18 @@ KsmScanner::shardCommitItems(mem::FrameTable &ft, unsigned s)
         bool skip_stable_probe = false;
         if (snap.kind == PageSnap::Kind::GenCalm) {
             ++sw.counters.genSkipped;
-            if (ps.digestValid) {
-                ++sw.counters.digestCacheHits;
-                digest = ps.lastDigest;
-            } else {
-                data = &ft.frame(hfn).data;
-                digest = commitDigest(hfn, gen, snap, *data,
-                                      sw.counters.digestCacheHits);
-                ps.lastDigest = digest;
-                ps.digestValid = true;
-            }
-            skip_stable_probe =
-                ps.lastStableEpoch != 0 &&
-                ps.lastStableEpoch == ft.ksmStableEpoch(digest);
-        } else { // SlowCalm
+            digest = genCalmDigest(ft, hfn, gen, ps, data,
+                                   snap.hasDigest ? &snap.digest : nullptr,
+                                   sw.counters.digestCacheHits,
+                                   skip_stable_probe);
+        } else { // SlowCalm — classify proved calm on the frozen ps.
             data = &ft.frame(hfn).data;
-            const std::uint32_t sum =
-                cfg_.incrementalScan
-                    ? commitChecksum(hfn, gen, snap, *data)
-                    : snap.checksum;
-            ps.lastChecksum = sum;
-            ps.checksumValid = true;
-            ps.lastGen = gen;
-            ps.lastStable = false;
-            ps.lastStableEpoch = 0;
-            ps.digestValid = false;
-            digest = cfg_.incrementalScan
-                         ? commitDigest(hfn, gen, snap, *data,
-                                        sw.counters.digestCacheHits)
-                         : snap.digest;
-            if (cfg_.incrementalScan) {
-                ps.lastDigest = digest;
-                ps.digestValid = true;
-            }
+            const bool calm = slowPathContent(
+                ft, hfn, gen, ps, data,
+                snap.hasChecksum ? &snap.checksum : nullptr,
+                snap.hasDigest ? &snap.digest : nullptr,
+                sw.counters.digestCacheHits, digest);
+            jtps_assert(calm);
         }
 
         shardTreeStage(sh, sw, lane, idx, w.vm, w.gfn, ft, ps, hfn,

@@ -83,6 +83,7 @@
 #ifndef JTPS_KSM_KSM_SCANNER_HH
 #define JTPS_KSM_KSM_SCANNER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -140,6 +141,21 @@ struct KsmConfig
      * multi-shard batches on tiny memories.
      */
     std::uint32_t scanShardPages = 4096;
+    /**
+     * Content-kernel window width for the cold path: the visitor (and
+     * each classify shard) gathers up to this many candidate pages,
+     * decides which checksums/digests their visits will need, computes
+     * them with the lane-parallel batch kernels
+     * (mem::checksumBatch/digestBatch — bit-identical per page to the
+     * scalar members, but the independent multiply-xor chains overlap),
+     * and then applies the unchanged per-page logic on the precomputed
+     * values. 1 disables staging and reproduces today's per-page path
+     * exactly; values are clamped to [1, 128]. Merges, counters and
+     * traces are byte-identical at any width — only
+     * `ksm.batch_kernel_pages` / `ksm.batch_flushes` (machine-sizing)
+     * move.
+     */
+    std::uint32_t batchPages = 16;
     /**
      * Drive passes from the hypervisor's PML rings instead of walking
      * every resident page: each batch drains the rings into per-VM
@@ -421,17 +437,127 @@ class KsmScanner : public hv::PageEventListener
     };
 
     /**
+     * Content-kernel values precomputed for one staged visit. The
+     * values are pure functions of the page content, and content is
+     * frozen for the whole window (no guest runs during a batch; the
+     * scanner never writes page data), so a present value is *always*
+     * what the visit would have computed — same "use if present, else
+     * recompute" contract as a classify snapshot, minus the generation
+     * proof, which content-purity makes unnecessary.
+     */
+    struct BatchPre
+    {
+        std::uint64_t dig = 0;
+        std::uint32_t sum = 0;
+        bool hasSum = false;
+        bool hasDig = false;
+    };
+
+    /**
+     * Structure-of-arrays staging for one content-kernel window
+     * (KsmConfig::batchPages). The gather loop pushes (vm, page-state
+     * row, gfn) items; stageWindow() then mirrors the visit's decision
+     * tree read-only to find which kernels each visit will need, runs
+     * the lane-parallel batch kernels over the needy pages, and leaves
+     * the per-item results in `pre` for the apply loop to hand to
+     * scanOne()/classifyOne(). Accounting fields accumulate across
+     * windows and are folded into the live counters by the owner (the
+     * serial visitor directly, classify workers via the relaxed
+     * atomics — sums, so order-free and deterministic).
+     */
+    struct KernelStage
+    {
+        // Window items (parallel arrays).
+        std::vector<const hv::Vm *> vms;
+        std::vector<const PageScanState *> rows;
+        std::vector<Gfn> gfns;
+        // Per-item derivations filled by stageWindow().
+        std::vector<BatchPre> pre;
+        std::vector<const mem::PageData *> data; //!< null until loaded
+        std::vector<Hfn> hfns;                   //!< invalidFrame = huge
+        std::vector<std::uint64_t> gens;
+        // Kernel lane staging (index into the window per lane).
+        std::vector<const mem::PageData *> sumPages;
+        std::vector<std::uint32_t> sumLane;
+        std::vector<std::uint32_t> sums;
+        std::vector<const mem::PageData *> digPages;
+        std::vector<std::uint32_t> digLane;
+        std::vector<std::uint64_t> digs;
+        std::vector<std::uint32_t> calmIdx;  //!< slow-path items
+        std::vector<std::uint32_t> needyIdx; //!< items needing content
+        std::vector<std::uint8_t> stableSettled; //!< gen-settled stable
+        // Accounting, folded by the owner.
+        std::uint64_t kernelPages = 0;
+        std::uint64_t flushes = 0;
+        double kernelMs = 0.0;
+
+        void
+        clearWindow()
+        {
+            vms.clear();
+            rows.clear();
+            gfns.clear();
+        }
+
+        void
+        push(const hv::Vm *v, const PageScanState *row, Gfn gfn)
+        {
+            vms.push_back(v);
+            rows.push_back(row);
+            gfns.push_back(gfn);
+        }
+
+        std::size_t count() const { return gfns.size(); }
+    };
+
+    /**
+     * Stage one gathered window: decide per item which content kernels
+     * its visit will need (none for huge/stable/settled pages; the
+     * zero-page fast path serves the compile-time constants ahead of
+     * any kernel work), prefetch the frames, run the batch kernels,
+     * and fill `ks.pre`. Read-only against scanner and host state.
+     * @p consult_memo additionally skips kernel lanes the per-frame
+     * memo would serve anyway — valid only on the serial path (the
+     * memo is commit-side state; classifyOne() never reads it).
+     */
+    void stageWindow(const mem::FrameTable &ft, KernelStage &ks,
+                     bool consult_memo) const;
+
+    /**
+     * Hint the unstable-table slot (two lines: chains average a couple
+     * of slots) a visit probing `digest` is about to walk. Pure hint —
+     * an earlier visit growing the table only makes it stale.
+     */
+    void prefetchUnstableSlot(std::uint64_t digest) const;
+
+    /**
+     * The serial visitors' lookahead: prefetch the write-generation
+     * and unstable-slot lines of the visit `prefetchDist` pages ahead,
+     * hiding their miss latency behind the visits in between.
+     */
+    void visitLookahead(const hv::Vm &v, const PageScanState *psv,
+                        Gfn gfn, Gfn gfn_end,
+                        const mem::FrameTable &ft) const;
+
+    /**
      * Visit one candidate page. @p v, @p ft and @p psv are hoisted by
      * scanBatch() (the VM, frame table, and this VM's page-state row)
-     * so the per-page path re-derives nothing.
+     * so the per-page path re-derives nothing. @p pre, when non-null,
+     * carries batch-kernel values for this visit (see BatchPre).
      * @return true if the page was resident.
      */
     bool scanOne(VmId vm, Gfn gfn, const hv::Vm &v, mem::FrameTable &ft,
-                 PageScanState *psv);
+                 PageScanState *psv, const BatchPre *pre = nullptr);
 
     /** The serial scan loop (scanThreads <= 1, and the reference the
-     *  parallel path must be byte-identical to). */
+     *  parallel path must be byte-identical to). Dispatches to the
+     *  software-pipelined window loop unless batchPages == 1. */
     std::uint64_t scanBatchSerial();
+
+    /** scanBatchSerial(), gather/stage/apply flavour (batchPages >= 2):
+     *  same visits in the same order, with the content kernels hoisted
+     *  into lane-parallel windows. */
+    std::uint64_t scanBatchSerialBatched();
 
     /** The two-phase collect/classify/commit scan loop. */
     std::uint64_t scanBatchParallel();
@@ -506,10 +632,12 @@ class KsmScanner : public hv::PageEventListener
     void classifyRange(const mem::FrameTable &ft, std::size_t begin,
                        std::size_t end);
 
-    /** Classify one work item into @p snap. */
+    /** Classify one work item into @p snap. @p pre, when non-null,
+     *  carries batch-kernel values for this item (see BatchPre). */
     void classifyOne(Gfn gfn, const hv::Vm &v,
                      const mem::FrameTable &ft,
-                     const PageScanState *psv, PageSnap &snap) const;
+                     const PageScanState *psv, PageSnap &snap,
+                     const BatchPre *pre = nullptr) const;
 
     /** Replay one classified page on the calling thread, mutating
      *  exactly as the serial visit would. */
@@ -568,20 +696,57 @@ class KsmScanner : public hv::PageEventListener
                               const mem::PageData &data,
                               std::uint64_t digest) const;
 
-    /** memoDigest(), but a generation-proved snapshot value stands in
-     *  for the recompute (hit accounting and memo end-state are
-     *  byte-identical to the serial visit). @p digest_hits is the
-     *  cache-hit sink: the live counter serially, a shard's private
-     *  accumulator from a shard commit. */
-    std::uint64_t commitDigest(Hfn hfn, std::uint64_t gen,
-                               const PageSnap &snap,
+    /**
+     * Digest of @p data via the per-frame memo — THE "use a
+     * precomputed value if present, else recompute" point, shared by
+     * the serial visit, the commit replay and the shard commits. On a
+     * memo hit the cached value is served and counted into
+     * @p digest_hits (the live counter serially, a shard's private
+     * accumulator from a shard commit); on a miss, @p pre — a
+     * classify-snapshot value under its generation proof, or a
+     * batch-kernel value (content-pure, so always valid) — stands in
+     * for the recompute, and the memo end-state is byte-identical
+     * either way.
+     */
+    std::uint64_t cachedDigest(Hfn hfn, std::uint64_t gen,
                                const mem::PageData &data,
+                               const std::uint64_t *pre,
                                std::uint64_t &digest_hits);
 
-    /** memoChecksum(), with the same snapshot substitution. */
-    std::uint32_t commitChecksum(Hfn hfn, std::uint64_t gen,
-                                 const PageSnap &snap,
-                                 const mem::PageData &data);
+    /** cachedChecksum(): the checksum flavour of cachedDigest() (no
+     *  hit counter — only digests have hit accounting). */
+    std::uint32_t cachedChecksum(Hfn hfn, std::uint64_t gen,
+                                 const mem::PageData &data,
+                                 const std::uint32_t *pre);
+
+    /**
+     * The generation-fast-path digest resolution shared by the serial
+     * visit (scanOne), the commit replay (commitOne) and the shard
+     * commits: serve the per-page cache, else cachedDigest(), install
+     * the result into @p ps, and derive the epoch-proved stable-probe
+     * skip. The caller has already counted the gen skip.
+     */
+    std::uint64_t genCalmDigest(mem::FrameTable &ft, Hfn hfn,
+                                std::uint64_t gen, PageScanState &ps,
+                                const mem::PageData *&data,
+                                const std::uint64_t *pre,
+                                std::uint64_t &digest_hits,
+                                bool &skip_stable_probe);
+
+    /**
+     * The slow-path content stage shared by the same three callers:
+     * resolve the checksum (cachedChecksum() under incrementalScan,
+     * direct otherwise), decide calmness against @p ps, update the
+     * per-page state exactly as the serial visit always has, and — for
+     * calm pages — resolve and install the digest. @return false when
+     * the page is not calm (the caller counts it and stops).
+     */
+    bool slowPathContent(mem::FrameTable &ft, Hfn hfn, std::uint64_t gen,
+                         PageScanState &ps, const mem::PageData *&data,
+                         const std::uint32_t *pre_sum,
+                         const std::uint64_t *pre_dig,
+                         std::uint64_t &digest_hits,
+                         std::uint64_t &digest_out);
 
     /** Advance the cursor; returns false at the end of a full pass. */
     bool advanceCursor();
@@ -614,14 +779,6 @@ class KsmScanner : public hv::PageEventListener
 
     /** Lazily-sized per-frame memo slot. */
     FrameMemo &frameMemo(Hfn hfn);
-
-    /** Digest of @p data via the frame memo (counts cache hits). */
-    std::uint64_t memoDigest(Hfn hfn, std::uint64_t gen,
-                             const mem::PageData &data);
-
-    /** Checksum of @p data via the frame memo. */
-    std::uint32_t memoChecksum(Hfn hfn, std::uint64_t gen,
-                               const mem::PageData &data);
 
     /** Grow/compact @p sh's flat unstable table (drops stale slots). */
     void unstableRehash(ShardState &sh, std::size_t new_capacity);
@@ -675,6 +832,19 @@ class KsmScanner : public hv::PageEventListener
     std::vector<WorkItem> work_;
     std::vector<PageSnap> snaps_;
 
+    /** Serial visitor's staging buffers, reused across windows. */
+    KernelStage serial_stage_;
+    /**
+     * Batch-kernel accounting from classify workers, folded into the
+     * live counters after the pool barrier. Relaxed atomics: the folded
+     * values are sums over all windows, so they are independent of
+     * worker interleaving — deterministic at any thread count (for a
+     * fixed scanShardPages, the windows themselves are too).
+     */
+    std::atomic<std::uint64_t> batch_pages_acc_{0};
+    std::atomic<std::uint64_t> batch_flush_acc_{0};
+    std::atomic<std::uint64_t> kernel_ns_acc_{0};
+
     // Cached counter handles: scanOne() runs per visited page, so the
     // string-keyed StatSet lookups are hoisted out of the hot loop.
     std::uint64_t &stat_stale_stable_;
@@ -691,6 +861,8 @@ class KsmScanner : public hv::PageEventListener
     std::uint64_t &stat_commit_replays_;
     std::uint64_t &stat_pml_skipped_;
     std::uint64_t &stat_shard_imbalance_;
+    std::uint64_t &stat_batch_kernel_pages_;
+    std::uint64_t &stat_batch_flushes_;
     /** hv's own merge counter, cached so the sharded reduce can apply
      *  deferred merges without a per-merge string lookup. */
     std::uint64_t &stat_hv_ksm_merges_;
@@ -710,6 +882,7 @@ class KsmScanner : public hv::PageEventListener
         double shard = 0;     //!< parallel shard commits (wall)
         double reduce = 0;    //!< serial op/residual interleave
         double serial = 0;    //!< unsharded commit loop (S == 1)
+        double kernel = 0;    //!< batched content kernels (staging)
     };
     bool phase_timing_ = false;
     PhaseMs phase_ms_;

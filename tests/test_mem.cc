@@ -69,6 +69,118 @@ TEST(PageData, ChecksumSensitiveToEverySectorPosition)
     }
 }
 
+namespace
+{
+
+/**
+ * A stream of pages shaped to stress the batch kernels: zero pages,
+ * pool-shared contents, near-collisions (one word or one bit apart),
+ * and the adversarial digest-collision family the shard suite uses
+ * (contents chosen so their digests land in one residue class).
+ */
+std::vector<PageData>
+adversarialPages(Rng &rng, std::size_t n)
+{
+    std::vector<PageData> pages;
+    pages.reserve(n);
+    while (pages.size() < n) {
+        switch (rng.nextBelow(5)) {
+        case 0:
+            pages.push_back(PageData::zero());
+            break;
+        case 1:
+            pages.push_back(PageData::filled(rng.nextBelow(6), 0));
+            break;
+        case 2: {
+            // Single-word / single-bit neighbours of a shared page.
+            PageData d = PageData::filled(rng.nextBelow(6), 0);
+            d.word[rng.nextBelow(mem::sectorsPerPage)] ^=
+                1ULL << rng.nextBelow(64);
+            pages.push_back(d);
+            break;
+        }
+        case 3: {
+            // Digest-residue family (cf. test_shard's colliding
+            // contents): all these digests agree mod 4.
+            for (std::uint64_t tag = rng.next();; ++tag) {
+                PageData d = PageData::filled(tag, 0xC0111DE5ULL);
+                if (d.digest() % 4 == 1) {
+                    pages.push_back(d);
+                    break;
+                }
+            }
+            break;
+        }
+        default:
+            pages.push_back(
+                PageData::filled(rng.next(), rng.next()));
+            break;
+        }
+    }
+    return pages;
+}
+
+} // namespace
+
+TEST(PageDataBatch, MatchesScalarAtEveryWidth)
+{
+    // The batch kernels promise bit-identical per-page values to the
+    // scalar members at any n — full lanes, ragged tails, and the
+    // degenerate widths included.
+    Rng rng(0xba7c4);
+    const std::vector<PageData> pool = adversarialPages(rng, 64);
+    for (std::size_t n = 0; n <= 40; ++n) {
+        std::vector<const PageData *> ptrs(n);
+        for (std::size_t i = 0; i < n; ++i)
+            ptrs[i] = &pool[rng.nextBelow(pool.size())];
+        std::vector<std::uint32_t> sums(n);
+        std::vector<std::uint64_t> digs(n);
+        mem::checksumBatch(ptrs.data(), sums.data(), n);
+        mem::digestBatch(ptrs.data(), digs.data(), n);
+        for (std::size_t i = 0; i < n; ++i) {
+            EXPECT_EQ(sums[i], ptrs[i]->checksum())
+                << "n=" << n << " i=" << i;
+            EXPECT_EQ(digs[i], ptrs[i]->digest())
+                << "n=" << n << " i=" << i;
+        }
+    }
+}
+
+TEST(PageDataBatch, CompareMatchesScalarEquality)
+{
+    Rng rng(0xc0159a5e);
+    const std::vector<PageData> pool = adversarialPages(rng, 48);
+    for (std::size_t n = 0; n <= 24; ++n) {
+        std::vector<const PageData *> a(n), b(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            a[i] = &pool[rng.nextBelow(pool.size())];
+            // Bias towards equal pairs so both outcomes are common.
+            b[i] = rng.bernoulli(0.5)
+                       ? a[i]
+                       : &pool[rng.nextBelow(pool.size())];
+        }
+        // std::vector<bool> has no data(); stage through a char buffer.
+        std::vector<char> raw(n);
+        mem::compareBatch(a.data(), b.data(),
+                          reinterpret_cast<bool *>(raw.data()), n);
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(raw[i] != 0, *a[i] == *b[i])
+                << "n=" << n << " i=" << i;
+    }
+}
+
+TEST(PageDataBatch, ZeroPageConstantsMatchScalar)
+{
+    // The scanner's zero fast path serves these constants in place of
+    // kernel lanes; they must be the scalar values of the zero page.
+    EXPECT_EQ(mem::zeroPageChecksum, PageData::zero().checksum());
+    EXPECT_EQ(mem::zeroPageDigest, PageData::zero().digest());
+    EXPECT_TRUE(PageData::zero().isZero());
+    PageData nearly;
+    nearly.word[mem::sectorsPerPage - 1] = 1;
+    EXPECT_FALSE(nearly.isZero());
+}
+
 TEST(PageData, OrderingIsStrictWeak)
 {
     PageData a = PageData::zero();

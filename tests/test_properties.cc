@@ -687,6 +687,29 @@ const std::vector<std::string> parallelOnlyCounters = {
     "ksm.commit_replays",
 };
 
+/**
+ * Batch-kernel accounting follows the *window shapes*, which differ
+ * between the serial visitor (per-VM, budget-bounded windows) and the
+ * classify shards (windows restarting per shard span), and are zero in
+ * the unbatched PML-serial pass. Exempt wherever the compared scanners
+ * take different pipeline shapes — every value, merge, translation and
+ * trace event must still match bit for bit. (Between two *parallel*
+ * scanners the windows are fixed by scanShardPages, so these counters
+ * are thread-count invariant and stay under the exact comparison.)
+ */
+const std::vector<std::string> batchShapeCounters = {
+    "ksm.batch_kernel_pages",
+    "ksm.batch_flushes",
+};
+
+std::vector<std::string>
+plusBatchShape(std::vector<std::string> v)
+{
+    v.insert(v.end(), batchShapeCounters.begin(),
+             batchShapeCounters.end());
+    return v;
+}
+
 class ParallelScanEquivalenceFuzz
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
 {
@@ -703,8 +726,8 @@ TEST_P(ParallelScanEquivalenceFuzz, MatchesSerialScanner)
     TwinStacks t(2 * MiB, parallelKsmCfg(threads),
                  TwinStacks::ksmCfg(true));
     ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2500));
-    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(parallelOnlyCounters,
-                                                    seed));
+    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(
+        plusBatchShape(parallelOnlyCounters), seed));
     for (const auto &c : parallelOnlyCounters)
         EXPECT_EQ(t.ref_stats.get(c), 0u) << c;
     if (threads >= 2) {
@@ -745,8 +768,8 @@ TEST_P(ParallelScanPagingFuzz, MatchesSerialUnderHostPaging)
     TwinStacks t(100 * pageSize, parallelKsmCfg(threads),
                  TwinStacks::ksmCfg(true));
     ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2000));
-    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(parallelOnlyCounters,
-                                                    seed));
+    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(
+        plusBatchShape(parallelOnlyCounters), seed));
     if (threads >= 2) {
         EXPECT_GT(t.inc_stats.get("ksm.scan_shards"), 0u);
     }
@@ -782,6 +805,102 @@ TEST_P(ParallelScanThreadInvarianceFuzz, TwoAndFourThreadsFullyIdentical)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelScanThreadInvarianceFuzz,
                          ::testing::Values(11, 77, 505));
+
+namespace
+{
+
+/** Boot-storm-shaped prefill: every page written once from a small
+ *  content pool (some left zero), so the scanners face a wall of
+ *  cold, highly shareable pages — the regime the batch kernels
+ *  target, with the zero fast path exercised alongside them. */
+void
+bootStormPrefill(TwinStacks &t, Rng &rng)
+{
+    for (int v = 0; v < TwinStacks::numVms; ++v) {
+        for (Gfn g = 0; g < TwinStacks::pagesPerVm; ++g) {
+            if (rng.bernoulli(0.15))
+                continue; // leave zero
+            PageData d = PageData::filled(rng.nextBelow(6), 0);
+            t.inc_hv.writePage(v, g, d);
+            t.ref_hv.writePage(v, g, d);
+        }
+    }
+}
+
+/** parallelKsmCfg() with an explicit kernel window size. */
+KsmConfig
+batchedKsmCfg(unsigned threads, std::uint32_t batch)
+{
+    KsmConfig c = parallelKsmCfg(threads);
+    c.batchPages = batch;
+    return c;
+}
+
+class BatchScanEquivalenceFuzz
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, unsigned>>
+{
+};
+
+} // namespace
+
+TEST_P(BatchScanEquivalenceFuzz, BatchedMatchesUnbatched)
+{
+    const std::uint64_t seed = std::get<0>(GetParam());
+    const unsigned threads = std::get<1>(GetParam());
+    // inc side: software-pipelined 16-page kernel windows; ref side:
+    // the same scanner with staging disabled (batchPages == 1). Same
+    // thread count both sides, so *only* the batch accounting — the
+    // inc side's windows against the ref side's zeros — may differ:
+    // every other counter, merge, translation, page content and trace
+    // event must be bit-identical.
+    TwinStacks t(2 * MiB, batchedKsmCfg(threads, 16),
+                 batchedKsmCfg(threads, 1));
+    Rng prefill(seed ^ 0xb0075708ull);
+    bootStormPrefill(t, prefill);
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2500));
+    ASSERT_NO_FATAL_FAILURE(
+        t.expectRegistriesEqual(batchShapeCounters, seed));
+    // Not vacuous: the batched side really ran kernel windows, and
+    // the unbatched side never staged anything.
+    EXPECT_GT(t.inc_stats.get("ksm.batch_kernel_pages"), 0u);
+    EXPECT_GT(t.inc_stats.get("ksm.batch_flushes"), 0u);
+    EXPECT_EQ(t.ref_stats.get("ksm.batch_kernel_pages"), 0u);
+    EXPECT_EQ(t.ref_stats.get("ksm.batch_flushes"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByThreads, BatchScanEquivalenceFuzz,
+    ::testing::Combine(::testing::Values(42, 8128),
+                       ::testing::ValuesIn(parallelThreadCounts())));
+
+namespace
+{
+
+class BatchWidthInvarianceFuzz
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+} // namespace
+
+TEST_P(BatchWidthInvarianceFuzz, RaggedWidthsFullyEquivalent)
+{
+    const std::uint64_t seed = GetParam();
+    // Two serial scanners at ragged, co-prime window sizes: window
+    // boundaries fall everywhere relative to VM ends and the scan
+    // budget, so every tail width of the staging loop is exercised.
+    TwinStacks t(2 * MiB, batchedKsmCfg(1, 7), batchedKsmCfg(1, 5));
+    Rng prefill(seed ^ 0xb0075708ull);
+    bootStormPrefill(t, prefill);
+    ASSERT_NO_FATAL_FAILURE(driveTwins(t, seed, 2500));
+    ASSERT_NO_FATAL_FAILURE(
+        t.expectRegistriesEqual(batchShapeCounters, seed));
+    EXPECT_GT(t.inc_stats.get("ksm.batch_kernel_pages"), 0u);
+    EXPECT_GT(t.ref_stats.get("ksm.batch_kernel_pages"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchWidthInvarianceFuzz,
+                         ::testing::Values(9, 4242));
 
 namespace
 {
@@ -1024,6 +1143,9 @@ const std::vector<std::string> pmlModeCounters = {
     "ksm.stale_stable_nodes",  "ksm.stale_unstable_nodes",
     "ksm.skipped_huge",        "ksm.pages_pml_skipped",
     "hv.pml_appends",          "hv.pml_overflows",
+    // Batch windows follow the pass shape too (and the log-driven
+    // serial pass runs unbatched): see batchShapeCounters.
+    "ksm.batch_kernel_pages",  "ksm.batch_flushes",
 };
 
 /** One random guest-side mutation applied identically to both stacks. */
@@ -1222,8 +1344,8 @@ TEST_P(PmlThreadInvarianceFuzz, WidthsFullyIdentical)
     TwinStacks t(pmlHostCfg(2 * MiB, 4096), pmlHostCfg(2 * MiB, 4096),
                  pmlKsmCfg(threads), pmlKsmCfg(1));
     ASSERT_NO_FATAL_FAILURE(driveTwins(t, 8128, 2500));
-    ASSERT_NO_FATAL_FAILURE(
-        t.expectRegistriesEqual(parallelOnlyCounters, 8128));
+    ASSERT_NO_FATAL_FAILURE(t.expectRegistriesEqual(
+        plusBatchShape(parallelOnlyCounters), 8128));
     if (threads >= 2) {
         EXPECT_GT(t.inc_stats.get("ksm.scan_shards"), 0u);
     }

@@ -56,6 +56,7 @@ struct Options
     unsigned analysisThreads = 1;
     unsigned ksmThreads = 1;
     unsigned ksmCommitShards = 1;
+    unsigned ksmBatch = 16;
     unsigned guestThreads = 1;
     // Cluster mode (--hosts > 0 switches from one Scenario to a fleet).
     int hosts = 0;
@@ -105,6 +106,9 @@ usage(const char *argv0)
         "  --ksm-commit-shards S  commit KSM batches as S digest\n"
         "                  shards + serial reduce (S divides 64;\n"
         "                  byte-identical at any S; ignored with PML)\n"
+        "  --ksm-batch N   stage KSM content kernels over N-page\n"
+        "                  windows (1 disables; byte-identical at any\n"
+        "                  N, only ksm.batch_* counters move)\n"
         "  --guest-threads N  stage guest-mutator epochs on N threads\n"
         "                  (counters/traces identical at any N)\n"
         "cluster mode (fleet of independent hosts):\n"
@@ -178,6 +182,9 @@ parse(int argc, char **argv)
         else if (arg == "--ksm-commit-shards")
             opt.ksmCommitShards =
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
+        else if (arg == "--ksm-batch")
+            opt.ksmBatch =
+                static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
         else if (arg == "--guest-threads")
             opt.guestThreads =
                 static_cast<unsigned>(std::strtoul(need(i), nullptr, 10));
@@ -200,6 +207,8 @@ parse(int argc, char **argv)
     if (opt.ksmCommitShards < 1 || opt.ksmCommitShards > 64 ||
         64 % opt.ksmCommitShards != 0)
         fatal("--ksm-commit-shards must divide 64 (1, 2, 4, ..., 64)");
+    if (opt.ksmBatch < 1 || opt.ksmBatch > 128)
+        fatal("--ksm-batch must be in [1, 128]");
     if (opt.adaptiveBalloon && opt.pmlRingSlots == 0)
         fatal("--adaptive-balloon requires --pml-ring N");
     if (opt.hosts < 0 || opt.hosts > 64)
@@ -522,6 +531,7 @@ main(int argc, char **argv)
         opt.analysisThreads == 0 ? 1 : opt.analysisThreads;
     cfg.ksmScanThreads = opt.ksmThreads == 0 ? 1 : opt.ksmThreads;
     cfg.ksmCommitShards = opt.ksmCommitShards;
+    cfg.ksmBatchPages = opt.ksmBatch;
     cfg.guestThreads = opt.guestThreads == 0 ? 1 : opt.guestThreads;
     cfg.pmlRingSlots = opt.pmlRingSlots;
     cfg.adaptiveBalloon = opt.adaptiveBalloon;
